@@ -1,0 +1,100 @@
+// Figure 6: concurrent-queue throughput vs. core count.
+//
+// A shared bounded MPMC ticket queue (see workloads/msqueue.hpp for the
+// substitution note) accessed by 1..256 cores with balanced
+// enqueue/dequeue pairs:
+//   Colibri        — ticket RMWs via LRwait/SCwait, slot waits via Mwait
+//   AtomicAddLock  — amoswap spin lock protecting a plain queue
+//   LRSC           — ticket RMWs via LR/SC, polling slot waits
+//
+// Besides the mean rate, the per-core min/max band (the paper's shaded
+// area) shows fairness: Colibri's FIFO reservation queue keeps the band
+// tight; LR/SC lets fast cores starve slow ones.
+#include <iostream>
+#include <numeric>
+
+#include "common.hpp"
+#include "workloads/msqueue.hpp"
+
+using namespace colibri;
+using workloads::QueueParams;
+using workloads::QueueVariant;
+
+namespace {
+
+struct Curve {
+  std::string name;
+  arch::AdapterKind adapter;
+  QueueVariant variant;
+};
+
+}  // namespace
+
+int main() {
+  const std::vector<Curve> curves = {
+      {"Colibri", arch::AdapterKind::kColibri, QueueVariant::kLrscWait},
+      {"AtomicAddLock", arch::AdapterKind::kAmoOnly, QueueVariant::kLock},
+      {"LRSC", arch::AdapterKind::kLrscSingle, QueueVariant::kLrsc},
+  };
+  const std::vector<std::uint32_t> coreCounts = {1,  2,  4,  8,   16,
+                                                 32, 64, 128, 256};
+
+  struct Point {
+    double rate;
+    double minRate;
+    double maxRate;
+    double jain;
+  };
+  std::vector<std::function<Point()>> jobs;
+  for (const auto& curve : curves) {
+    for (const auto n : coreCounts) {
+      jobs.push_back([&curve, n] {
+        arch::System sys(bench::memPoolWith(curve.adapter));
+        QueueParams p;
+        p.variant = curve.variant;
+        p.window = bench::benchWindow();
+        p.backoff = sync::BackoffPolicy::fixed(128);
+        p.cores.resize(n);
+        std::iota(p.cores.begin(), p.cores.end(), 0);
+        const auto r = workloads::runQueue(sys, p);
+        return Point{r.rate.opsPerCycle, r.rate.perCoreMinRate * n,
+                     r.rate.perCoreMaxRate * n, r.rate.fairnessJain};
+      });
+    }
+  }
+  const auto points = bench::runParallel(std::move(jobs));
+
+  report::banner(std::cout,
+                 "Figure 6: queue accesses/cycle vs #cores (min..max = "
+                 "slowest..fastest core x n, the paper's shaded band)");
+  report::Table table({"#Cores", "Colibri", "Colibri min..max", "Jain",
+                       "AmoLock", "AmoLock min..max", "Jain", "LRSC",
+                       "LRSC min..max", "Jain"});
+  for (std::size_t ni = 0; ni < coreCounts.size(); ++ni) {
+    std::vector<std::string> row{std::to_string(coreCounts[ni])};
+    for (std::size_t ci = 0; ci < curves.size(); ++ci) {
+      const auto& pt = points[ci * coreCounts.size() + ni];
+      row.push_back(report::fmt(pt.rate, 4));
+      row.push_back(report::fmt(pt.minRate, 4) + ".." +
+                    report::fmt(pt.maxRate, 4));
+      row.push_back(report::fmt(pt.jain, 3));
+    }
+    table.addRow(row);
+  }
+  table.print(std::cout);
+
+  const auto at = [&](std::size_t ci, std::size_t ni) {
+    return points[ci * coreCounts.size() + ni];
+  };
+  // Paper: Colibri 1.54x over LRSC at 8 cores, ~9x at 64 cores.
+  std::cout << "\nColibri vs LRSC at 8 cores:  "
+            << report::fmtSpeedup(at(0, 3).rate / at(2, 3).rate)
+            << "  (paper: 1.54x)\n";
+  std::cout << "Colibri vs LRSC at 64 cores: "
+            << report::fmtSpeedup(at(0, 6).rate / at(2, 6).rate)
+            << "  (paper: 9x)\n";
+  std::cout << "Colibri vs lock  at 8 cores: "
+            << report::fmtSpeedup(at(0, 3).rate / at(1, 3).rate)
+            << "  (paper: 1.48x)\n";
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Simulator micro-benchmarks (google-benchmark): raw event throughput,
+// resource arbitration and end-to-end simulated-op cost. These measure the
+// *simulator*, not the modeled hardware — they bound how large a sweep the
+// figure benches can afford.
+#include <benchmark/benchmark.h>
+
+#include "arch/system.hpp"
+#include "sim/engine.hpp"
+#include "sim/random.hpp"
+#include "sim/resource.hpp"
+#include "sync/atomic.hpp"
+
+namespace {
+
+using namespace colibri;
+
+void BM_EngineScheduleRun(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine e;
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      e.scheduleAt(i % 97, [&sum] { ++sum; });
+    }
+    e.run();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EngineScheduleRun)->Arg(1024)->Arg(65536);
+
+void BM_EngineCascade(benchmark::State& state) {
+  // Each event schedules the next: the dependent-event (protocol) pattern.
+  for (auto _ : state) {
+    sim::Engine e;
+    std::uint64_t depth = 0;
+    std::function<void()> step = [&] {
+      if (++depth % 4096 != 0) {
+        e.scheduleAfter(1, step);
+      }
+    };
+    e.scheduleAt(0, step);
+    e.run();
+    benchmark::DoNotOptimize(depth);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          4096);
+}
+BENCHMARK(BM_EngineCascade);
+
+void BM_ResourceAcquire(benchmark::State& state) {
+  sim::ThroughputResource r(4);
+  sim::Cycle at = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(r.acquire(at));
+    ++at;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ResourceAcquire);
+
+void BM_Xoshiro(benchmark::State& state) {
+  sim::Xoshiro256 rng(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.below(1024));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Xoshiro);
+
+sim::Task incrementLoop(arch::System& sys, arch::Core& core, sim::Addr a,
+                        int iters) {
+  auto rng = sim::Xoshiro256::forStream(sys.config().seed, core.id());
+  sync::Backoff bo(sync::BackoffPolicy::fixed(32), rng);
+  for (int i = 0; i < iters; ++i) {
+    (void)co_await sync::fetchAdd(core, sync::RmwFlavor::kLrscWait, a, 1, bo);
+  }
+}
+
+void BM_EndToEndAtomicOp(benchmark::State& state) {
+  // Wall-clock cost per simulated LRwait/SCwait increment (16 cores,
+  // Colibri, full network + bank path).
+  constexpr int kIters = 200;
+  for (auto _ : state) {
+    auto cfg = arch::SystemConfig::smallTest();
+    cfg.adapter = arch::AdapterKind::kColibri;
+    arch::System sys(cfg);
+    const auto a = sys.allocator().allocGlobal(1);
+    for (sim::CoreId c = 0; c < cfg.numCores; ++c) {
+      sys.spawn(c, incrementLoop(sys, sys.core(c), a, kIters));
+    }
+    sys.run();
+    if (sys.peek(a) != cfg.numCores * kIters) {
+      state.SkipWithError("lost updates");
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 16 *
+                          kIters);
+}
+BENCHMARK(BM_EndToEndAtomicOp)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// Shared infrastructure for the paper-reproduction benches.
+//
+// Every bench binary regenerates one table or figure of the paper on the
+// modeled 256-core MemPool system and prints the same rows/series the
+// paper reports. Simulations are independent, so sweeps run in parallel
+// across std::async workers (each point owns a fresh System).
+#pragma once
+
+#include <functional>
+#include <future>
+#include <iostream>
+#include <vector>
+
+#include "arch/system.hpp"
+#include "report/table.hpp"
+#include "workloads/histogram.hpp"
+
+namespace colibri::bench {
+
+/// The paper's contention sweep (Figs. 3 and 4).
+inline std::vector<std::uint32_t> binSeries() {
+  return {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024};
+}
+
+/// Measurement window used by the figure benches: long enough for steady
+/// state at 256 cores, short enough to keep the whole sweep in seconds.
+inline workloads::MeasureWindow benchWindow() {
+  return workloads::MeasureWindow{2000, 20000};
+}
+
+/// Run all jobs concurrently and collect results in order.
+template <typename T>
+std::vector<T> runParallel(std::vector<std::function<T()>> jobs) {
+  std::vector<std::future<T>> futures;
+  futures.reserve(jobs.size());
+  for (auto& job : jobs) {
+    futures.push_back(std::async(std::launch::async, std::move(job)));
+  }
+  std::vector<T> out;
+  out.reserve(futures.size());
+  for (auto& f : futures) {
+    out.push_back(f.get());
+  }
+  return out;
+}
+
+/// MemPool config with the given adapter (and optional LRSCwait capacity).
+inline arch::SystemConfig memPoolWith(arch::AdapterKind k,
+                                      std::uint32_t lrscWaitCapacity = 8) {
+  auto cfg = arch::SystemConfig::memPool();
+  cfg.adapter = k;
+  cfg.lrscWaitQueueCapacity = lrscWaitCapacity;
+  return cfg;
+}
+
+/// One histogram point on a fresh system.
+inline workloads::HistogramResult histogramPoint(
+    const arch::SystemConfig& cfg, const workloads::HistogramParams& p) {
+  arch::System sys(cfg);
+  return workloads::runHistogram(sys, p);
+}
+
+}  // namespace colibri::bench

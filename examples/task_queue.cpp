@@ -1,0 +1,58 @@
+// Task-queue example: a producer/consumer pipeline over the shared ticket
+// queue, showing what Mwait buys (the paper's Section III-C motivation).
+//
+// A few producer cores generate work items; many consumer cores process
+// them. With Mwait, idle consumers *sleep* in the reservation queue of the
+// word they're waiting on and are woken by the producer's store; with
+// polling they hammer the banks. The example prints throughput, the
+// consumers' sleep fraction, and their memory requests per item.
+#include <iostream>
+
+#include "arch/system.hpp"
+#include "report/table.hpp"
+#include "workloads/prodcons.hpp"
+
+using namespace colibri;
+
+namespace {
+
+workloads::ProdConsResult run(bool useMwait) {
+  auto cfg = arch::SystemConfig::memPool();
+  cfg.adapter = arch::AdapterKind::kColibri;
+  arch::System sys(cfg);
+  workloads::ProdConsParams p;
+  p.producers = 8;
+  p.consumers = 48;
+  p.produceDelay = 100;  // items are scarce: consumers wait a lot
+  p.consumeDelay = 12;
+  p.useMwait = useMwait;
+  p.window = workloads::MeasureWindow{1000, 15000};
+  return workloads::runProdCons(sys, p);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Producer/consumer pipeline: 8 producers, 48 consumers on a "
+               "simulated 256-core system.\n";
+  const auto mwait = run(true);
+  const auto poll = run(false);
+
+  report::Table table({"Consumer wait", "items/cycle", "sleep fraction",
+                       "mem requests/item"});
+  table.addRow({"Mwait (sleep)", report::fmt(mwait.itemsPerCycle, 4),
+                report::fmtPercent(100.0 * mwait.consumerSleepFraction, 1),
+                report::fmt(mwait.consumerRequestsPerItem, 1)});
+  table.addRow({"Polling", report::fmt(poll.itemsPerCycle, 4),
+                report::fmtPercent(100.0 * poll.consumerSleepFraction, 1),
+                report::fmt(poll.consumerRequestsPerItem, 1)});
+  table.print(std::cout);
+
+  std::cout << "\nSame throughput, but Mwait consumers spend their waiting\n"
+               "time clock-gated instead of generating "
+            << report::fmt(
+                   poll.consumerRequestsPerItem / mwait.consumerRequestsPerItem,
+                   1)
+            << "x the memory traffic — bandwidth other cores could use.\n";
+  return mwait.allItemsSeen && poll.allItemsSeen ? 0 : 1;
+}

@@ -1,0 +1,82 @@
+// Address mapping and a simple bump allocator for the simulated SPM.
+//
+// The modeled L1 is word-interleaved across all banks (as in MemPool):
+// consecutive word addresses land in consecutive banks, so a dense array
+// spreads across the whole machine while a stride of numBanks() stays
+// inside one bank. The allocator hands out either interleaved (global)
+// regions or tile-local regions (all words of which live in one tile's
+// banks — used for MCS queue nodes so cores spin/wait locally).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/config.hpp"
+#include "sim/check.hpp"
+#include "sim/types.hpp"
+
+namespace colibri::arch {
+
+using sim::Addr;
+using sim::BankId;
+using sim::TileId;
+
+class AddressMap {
+ public:
+  explicit AddressMap(const SystemConfig& cfg)
+      : numBanks_(cfg.numBanks()),
+        banksPerTile_(cfg.banksPerTile),
+        wordsPerBank_(cfg.wordsPerBank) {}
+
+  [[nodiscard]] BankId bankOf(Addr a) const {
+    return static_cast<BankId>(a % numBanks_);
+  }
+  [[nodiscard]] std::uint64_t offsetOf(Addr a) const { return a / numBanks_; }
+  [[nodiscard]] TileId tileOfBank(BankId b) const { return b / banksPerTile_; }
+  [[nodiscard]] TileId tileOf(Addr a) const { return tileOfBank(bankOf(a)); }
+
+  [[nodiscard]] std::uint64_t numWords() const {
+    return static_cast<std::uint64_t>(numBanks_) * wordsPerBank_;
+  }
+
+  /// Address of word `offset` in bank `b` (inverse of bankOf/offsetOf).
+  [[nodiscard]] Addr compose(BankId b, std::uint64_t offset) const {
+    COLIBRI_CHECK(b < numBanks_ && offset < wordsPerBank_);
+    return offset * numBanks_ + b;
+  }
+
+ private:
+  std::uint32_t numBanks_;
+  std::uint32_t banksPerTile_;
+  std::uint32_t wordsPerBank_;
+};
+
+/// Bump allocator over the simulated word space. Not thread-safe (the
+/// simulator is single-threaded by design).
+class Allocator {
+ public:
+  explicit Allocator(const SystemConfig& cfg)
+      : map_(cfg),
+        nextOffsetPerBank_(cfg.numBanks(), 0),
+        cfg_(cfg) {}
+
+  /// Allocate `n` consecutive word addresses (interleaved across banks).
+  [[nodiscard]] Addr allocGlobal(std::uint64_t n);
+
+  /// Allocate `n` words that all reside in banks of tile `t`. Returns the
+  /// addresses (not necessarily contiguous).
+  [[nodiscard]] std::vector<Addr> allocLocal(TileId t, std::uint64_t n);
+
+  /// Allocate one word in a specific bank.
+  [[nodiscard]] Addr allocInBank(BankId b);
+
+  [[nodiscard]] const AddressMap& map() const { return map_; }
+
+ private:
+  AddressMap map_;
+  std::uint64_t nextGlobalOffset_ = 0;  // in units of full rows (numBanks words)
+  std::vector<std::uint64_t> nextOffsetPerBank_;
+  SystemConfig cfg_;
+};
+
+}  // namespace colibri::arch

@@ -1,0 +1,56 @@
+#include "arch/bank.hpp"
+
+#include "sim/check.hpp"
+
+namespace colibri::arch {
+
+Bank::Bank(sim::Engine& engine, Network& net, CoreSink& sink,
+           const SystemConfig& cfg, BankId id)
+    : engine_(engine),
+      net_(net),
+      sink_(sink),
+      cfg_(cfg),
+      id_(id),
+      port_(cfg.bankPortsPerCycle),
+      words_(cfg.wordsPerBank, 0) {
+  adapter_ = atomics::makeAdapter(cfg, *this);
+}
+
+std::uint64_t Bank::offsetOf(Addr a) const {
+  COLIBRI_CHECK_MSG(a % cfg_.numBanks() == id_,
+                    "address " << a << " does not map to bank " << id_);
+  const std::uint64_t off = a / cfg_.numBanks();
+  COLIBRI_CHECK(off < words_.size());
+  return off;
+}
+
+void Bank::receive(const MemRequest& req) {
+  const sim::Cycle grant = port_.acquire(engine_.now());
+  engine_.scheduleAt(grant, [this, req] {
+    ++stats_.requests;
+    adapter_->handle(req);
+  });
+}
+
+Word Bank::read(Addr a) const { return words_[offsetOf(a)]; }
+
+void Bank::writeRaw(Addr a, Word v) { words_[offsetOf(a)] = v; }
+
+void Bank::respond(CoreId c, const MemResponse& r) {
+  net_.bankToCore(id_, c, [this, c, r] { sink_.deliverResponse(c, r); });
+}
+
+void Bank::sendSuccessorUpdate(CoreId target, CoreId successor, Addr a,
+                               bool successorIsMwait) {
+  net_.bankToCore(id_, target, [this, target, successor, a, successorIsMwait] {
+    sink_.deliverSuccessorUpdate(target, successor, a, successorIsMwait);
+  });
+}
+
+void Bank::resetStats() {
+  stats_.reset();
+  port_.resetStats();
+  adapter_->mutableStats().reset();
+}
+
+}  // namespace colibri::arch

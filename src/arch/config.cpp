@@ -1,0 +1,21 @@
+#include "arch/config.hpp"
+
+namespace colibri::arch {
+
+std::string toString(AdapterKind k) {
+  switch (k) {
+    case AdapterKind::kAmoOnly:
+      return "amo-only";
+    case AdapterKind::kLrscSingle:
+      return "lrsc-single";
+    case AdapterKind::kLrscTable:
+      return "lrsc-table";
+    case AdapterKind::kLrscWait:
+      return "lrscwait";
+    case AdapterKind::kColibri:
+      return "colibri";
+  }
+  return "?";
+}
+
+}  // namespace colibri::arch

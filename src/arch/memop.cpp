@@ -1,0 +1,69 @@
+#include "arch/memop.hpp"
+
+#include <algorithm>
+
+#include "sim/check.hpp"
+
+namespace colibri::arch {
+
+std::string_view toString(OpKind k) {
+  switch (k) {
+    case OpKind::kLoad:
+      return "load";
+    case OpKind::kStore:
+      return "store";
+    case OpKind::kAmoAdd:
+      return "amoadd";
+    case OpKind::kAmoSwap:
+      return "amoswap";
+    case OpKind::kAmoAnd:
+      return "amoand";
+    case OpKind::kAmoOr:
+      return "amoor";
+    case OpKind::kAmoXor:
+      return "amoxor";
+    case OpKind::kAmoMax:
+      return "amomax";
+    case OpKind::kAmoMin:
+      return "amomin";
+    case OpKind::kLr:
+      return "lr";
+    case OpKind::kSc:
+      return "sc";
+    case OpKind::kLrWait:
+      return "lrwait";
+    case OpKind::kScWait:
+      return "scwait";
+    case OpKind::kMwait:
+      return "mwait";
+    case OpKind::kWakeUp:
+      return "wakeup";
+  }
+  return "?";
+}
+
+Word applyAmo(OpKind k, Word mem, Word operand) {
+  switch (k) {
+    case OpKind::kAmoAdd:
+      return mem + operand;
+    case OpKind::kAmoSwap:
+      return operand;
+    case OpKind::kAmoAnd:
+      return mem & operand;
+    case OpKind::kAmoOr:
+      return mem | operand;
+    case OpKind::kAmoXor:
+      return mem ^ operand;
+    case OpKind::kAmoMax:
+      return std::max(static_cast<std::int32_t>(mem),
+                      static_cast<std::int32_t>(operand));
+    case OpKind::kAmoMin:
+      return std::min(static_cast<std::int32_t>(mem),
+                      static_cast<std::int32_t>(operand));
+    default:
+      COLIBRI_CHECK_MSG(false, "applyAmo on non-AMO op");
+  }
+  return 0;
+}
+
+}  // namespace colibri::arch

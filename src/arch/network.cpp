@@ -1,0 +1,152 @@
+#include "arch/network.hpp"
+
+#include <utility>
+
+namespace colibri::arch {
+
+namespace {
+// Pair keys for the FIFO clamp. Core and bank id spaces overlap, so tag the
+// direction in the top bits.
+constexpr std::uint64_t kDirCoreToBank = 0;
+constexpr std::uint64_t kDirBankToCore = 1;
+
+std::uint64_t pairKey(std::uint64_t dir, std::uint64_t src,
+                      std::uint64_t dst) {
+  return (dir << 62) | (src << 31) | dst;
+}
+}  // namespace
+
+Network::Network(Engine& engine, const SystemConfig& cfg)
+    : engine_(engine), topo_(cfg), cfg_(cfg) {
+  const std::uint32_t groups = cfg.numGroups();
+  localRouters_.reserve(groups);
+  for (std::uint32_t g = 0; g < groups; ++g) {
+    localRouters_.emplace_back(cfg.localGroupBandwidth);
+  }
+  groupLinks_.reserve(static_cast<std::size_t>(groups) * groups);
+  for (std::uint32_t i = 0; i < groups * groups; ++i) {
+    groupLinks_.emplace_back(cfg.groupLinkBandwidth);
+  }
+  tileIngress_.reserve(cfg.numTiles());
+  for (std::uint32_t t = 0; t < cfg.numTiles(); ++t) {
+    tileIngress_.emplace_back(cfg.tileIngressBandwidth);
+  }
+}
+
+Cycle Network::baseLatency(Distance d) const {
+  switch (d) {
+    case Distance::kLocalTile:
+      return cfg_.latLocalTile;
+    case Distance::kSameGroup:
+      return cfg_.latSameGroup;
+    case Distance::kRemoteGroup:
+      return cfg_.latRemoteGroup;
+  }
+  return cfg_.latRemoteGroup;
+}
+
+Cycle Network::acquireRequestPath(GroupId srcGroup, GroupId dstGroup,
+                                  TileId dstTile, Distance d, Cycle at,
+                                  std::uint32_t holdSlots) {
+  // A message with holdSlots > 1 occupies each shared stage for several
+  // consecutive slots: the backpressure proxy for requests heading into a
+  // backlogged bank (their flits sit in switch buffers, blocking others).
+  const auto occupy = [&](sim::ThroughputResource& r, Cycle t) {
+    Cycle granted = r.acquire(t);
+    for (std::uint32_t i = 1; i < holdSlots; ++i) {
+      granted = r.acquire(granted);
+    }
+    return granted;
+  };
+  switch (d) {
+    case Distance::kLocalTile:
+      return at;  // dedicated path, no shared stage
+    case Distance::kSameGroup: {
+      // Group router, then the destination tile's ingress port (shared by
+      // all of that tile's banks). Stages are FIFO, so ordering holds.
+      const Cycle router = occupy(localRouters_[srcGroup], at);
+      const Cycle granted = occupy(tileIngress_[dstTile], router);
+      stats_.totalQueueingDelay += granted - at;
+      return granted;
+    }
+    case Distance::kRemoteGroup: {
+      // Router, directed inter-group link, destination tile ingress.
+      const Cycle router = occupy(localRouters_[srcGroup], at);
+      const std::size_t link =
+          static_cast<std::size_t>(srcGroup) * cfg_.numGroups() + dstGroup;
+      const Cycle linkCleared = occupy(groupLinks_[link], router);
+      const Cycle granted = occupy(tileIngress_[dstTile], linkCleared);
+      stats_.totalQueueingDelay += granted - at;
+      return granted;
+    }
+  }
+  return at;
+}
+
+void Network::deliver(std::uint64_t key, Cycle at, std::function<void()> fn) {
+  // FIFO clamp: never deliver earlier than a previously sent message on the
+  // same (src, dst) pair.
+  auto [it, inserted] = lastDelivery_.try_emplace(key, at);
+  if (!inserted) {
+    if (at < it->second) {
+      at = it->second;
+    }
+    it->second = at;
+  }
+  engine_.scheduleAt(at, std::move(fn));
+}
+
+void Network::coreToBank(CoreId c, BankId b, std::function<void()> onArrive,
+                         std::uint32_t holdSlots) {
+  const TileId srcTile = topo_.tileOfCore(c);
+  const TileId dstTile = topo_.tileOfBank(b);
+  const Distance d = topo_.distance(srcTile, dstTile);
+  stats_.messagesByDistance[static_cast<std::size_t>(d)]++;
+  stats_.totalMessages++;
+
+  const Cycle cleared = acquireRequestPath(
+      topo_.groupOfTile(srcTile), topo_.groupOfTile(dstTile), dstTile, d,
+      engine_.now(), holdSlots == 0 ? 1 : holdSlots);
+  deliver(pairKey(kDirCoreToBank, c, b), cleared + baseLatency(d),
+          std::move(onArrive));
+}
+
+void Network::bankToCore(BankId b, CoreId c, std::function<void()> onArrive) {
+  const TileId srcTile = topo_.tileOfBank(b);
+  const TileId dstTile = topo_.tileOfCore(c);
+  const Distance d = topo_.distance(srcTile, dstTile);
+  stats_.messagesByDistance[static_cast<std::size_t>(d)]++;
+  stats_.totalMessages++;
+
+  deliver(pairKey(kDirBankToCore, b, c), engine_.now() + baseLatency(d),
+          std::move(onArrive));
+}
+
+void Network::resetStats() {
+  stats_.reset();
+  for (auto& r : localRouters_) {
+    r.resetStats();
+  }
+  for (auto& r : groupLinks_) {
+    r.resetStats();
+  }
+  for (auto& r : tileIngress_) {
+    r.resetStats();
+  }
+}
+
+std::uint64_t Network::linkQueueingDelay() const {
+  std::uint64_t total = 0;
+  for (const auto& r : localRouters_) {
+    total += r.totalQueueingDelay();
+  }
+  for (const auto& r : groupLinks_) {
+    total += r.totalQueueingDelay();
+  }
+  for (const auto& r : tileIngress_) {
+    total += r.totalQueueingDelay();
+  }
+  return total;
+}
+
+}  // namespace colibri::arch

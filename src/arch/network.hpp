@@ -1,0 +1,97 @@
+// Hierarchical interconnect model.
+//
+// Messages between cores and banks take a latency determined by the
+// distance class (local tile / same group / remote group) plus queueing
+// delay on shared resources:
+//   - each group's local router (intra-group, inter-tile traffic),
+//   - each directed group-to-group link (remote traffic).
+// Local-tile traffic bypasses both (dedicated single-cycle paths).
+//
+// Delivery is FIFO per (source endpoint, destination endpoint) pair. This
+// is guaranteed structurally (fixed latency + FIFO resources) and enforced
+// with a per-pair clamp, because Colibri's correctness argument relies on
+// ordered memory transactions (Section IV-A): an SCwait and the
+// WakeUpRequest dispatched right behind it must not be reordered.
+//
+// Only the request direction contends for link bandwidth; responses use
+// dedicated return paths (as in MemPool's full-duplex interconnect) with
+// pure latency. Bank-port serialization is handled by the Bank itself.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "arch/config.hpp"
+#include "arch/topology.hpp"
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+#include "sim/types.hpp"
+
+namespace colibri::arch {
+
+using sim::Cycle;
+using sim::Engine;
+
+/// Per-distance-class traffic counters (for the energy model).
+struct NetworkStats {
+  std::array<std::uint64_t, 3> messagesByDistance{};  // indexed by Distance
+  std::uint64_t totalMessages = 0;
+  std::uint64_t totalQueueingDelay = 0;
+
+  void reset() {
+    messagesByDistance = {};
+    totalMessages = 0;
+    totalQueueingDelay = 0;
+  }
+};
+
+class Network {
+ public:
+  Network(Engine& engine, const SystemConfig& cfg);
+
+  /// Deliver `onArrive` at the bank after the request-path latency from
+  /// core `c` to bank `b` (including link queueing). FIFO per (c,b).
+  /// `holdSlots` >= 1 is the number of consecutive slots the message holds
+  /// on each shared stage: >1 models backpressure from a backlogged
+  /// destination (finite switch buffers, head-of-line blocking).
+  void coreToBank(CoreId c, BankId b, std::function<void()> onArrive,
+                  std::uint32_t holdSlots = 1);
+
+  /// Deliver `onArrive` at the core after the response-path latency from
+  /// bank `b` to core `c` (pure latency, FIFO per (b,c)).
+  void bankToCore(BankId b, CoreId c, std::function<void()> onArrive);
+
+  /// One-way latency (without queueing) for a distance class.
+  [[nodiscard]] Cycle baseLatency(Distance d) const;
+
+  [[nodiscard]] const NetworkStats& stats() const { return stats_; }
+  void resetStats();
+
+  [[nodiscard]] const Topology& topology() const { return topo_; }
+
+  /// Total queueing delay currently accumulated on group links (congestion
+  /// indicator used by interference analyses).
+  [[nodiscard]] std::uint64_t linkQueueingDelay() const;
+
+ private:
+  /// Claim link resources for a request departing at `at`; returns the
+  /// cycle the message clears the contended stage.
+  Cycle acquireRequestPath(GroupId srcGroup, GroupId dstGroup, TileId dstTile,
+                           Distance d, Cycle at, std::uint32_t holdSlots);
+
+  void deliver(std::uint64_t pairKey, Cycle at, std::function<void()> fn);
+
+  Engine& engine_;
+  Topology topo_;
+  SystemConfig cfg_;
+  std::vector<sim::ThroughputResource> localRouters_;  // one per group
+  std::vector<sim::ThroughputResource> groupLinks_;    // numGroups^2, directed
+  std::vector<sim::ThroughputResource> tileIngress_;   // one per tile
+  std::unordered_map<std::uint64_t, Cycle> lastDelivery_;  // FIFO clamp
+  NetworkStats stats_;
+};
+
+}  // namespace colibri::arch

@@ -1,0 +1,116 @@
+#include "arch/system.hpp"
+
+#include "sim/check.hpp"
+
+namespace colibri::arch {
+
+System::System(const SystemConfig& cfg)
+    : cfg_(cfg), net_(engine_, cfg), alloc_(cfg) {
+  cfg_.validate();
+
+  banks_.reserve(cfg_.numBanks());
+  for (BankId b = 0; b < cfg_.numBanks(); ++b) {
+    banks_.push_back(std::make_unique<Bank>(engine_, net_, *this, cfg_, b));
+  }
+
+  qnodes_.reserve(cfg_.numCores);
+  for (CoreId c = 0; c < cfg_.numCores; ++c) {
+    qnodes_.emplace_back(c);
+  }
+
+  cores_.reserve(cfg_.numCores);
+  for (CoreId c = 0; c < cfg_.numCores; ++c) {
+    cores_.push_back(std::make_unique<Core>(*this, c));
+    if (cfg_.adapter == AdapterKind::kColibri) {
+      cores_[c]->qnode_ = &qnodes_[c];
+      qnodes_[c].setWakeUpSender(
+          [this, c](CoreId successor, bool successorIsMwait, sim::Addr a) {
+            MemRequest wake;
+            wake.kind = OpKind::kWakeUp;
+            wake.addr = a;
+            wake.value = static_cast<sim::Word>(successor);
+            wake.core = c;
+            wake.successorIsMwait = successorIsMwait;
+            injectRequest(c, wake);
+          });
+    }
+  }
+}
+
+System::~System() {
+  // Drop queued events first: they may capture awaiter state living inside
+  // coroutine frames that the Core destructors are about to destroy.
+  engine_.clear();
+}
+
+void System::spawn(CoreId c, sim::Task task) {
+  COLIBRI_CHECK(c < cores_.size());
+  cores_[c]->run(std::move(task));
+}
+
+sim::Word System::peek(sim::Addr a) const {
+  return banks_[a % cfg_.numBanks()]->read(a);
+}
+
+void System::poke(sim::Addr a, sim::Word v) {
+  banks_[a % cfg_.numBanks()]->writeRaw(a, v);
+}
+
+void System::run() { engine_.run(); }
+
+void System::runUntil(sim::Cycle horizon) { engine_.runUntil(horizon); }
+
+void System::at(sim::Cycle when, std::function<void()> fn) {
+  engine_.scheduleAt(when, std::move(fn));
+}
+
+void System::rethrowFailures() const {
+  for (const auto& core : cores_) {
+    core->rethrowIfFailed();
+  }
+}
+
+bool System::allTasksDone() const {
+  for (const auto& core : cores_) {
+    if (core->task_.valid() && !core->task_.done()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void System::injectRequest(CoreId from, const MemRequest& req) {
+  const BankId b = static_cast<BankId>(req.addr % cfg_.numBanks());
+  // Backpressure proxy: a request towards a backlogged bank holds shared
+  // network stages longer (finite switch buffers; see config.hpp).
+  std::uint32_t hold = 1;
+  if (cfg_.linkHoldMax > 0) {
+    const sim::Cycle backlog = banks_[b]->backlog();
+    hold += static_cast<std::uint32_t>(
+        backlog > cfg_.linkHoldMax ? cfg_.linkHoldMax : backlog);
+  }
+  net_.coreToBank(
+      from, b, [this, b, req] { banks_[b]->receive(req); }, hold);
+}
+
+void System::resetStats() {
+  for (auto& core : cores_) {
+    core->resetStats();
+  }
+  for (auto& bank : banks_) {
+    bank->resetStats();
+  }
+  net_.resetStats();
+}
+
+void System::deliverResponse(CoreId c, const MemResponse& r) {
+  cores_[c]->complete(r);
+}
+
+void System::deliverSuccessorUpdate(CoreId c, CoreId successor, sim::Addr a,
+                                    bool successorIsMwait) {
+  (void)a;
+  qnodes_[c].onSuccessorUpdate(successor, successorIsMwait);
+}
+
+}  // namespace colibri::arch

@@ -1,0 +1,90 @@
+// System: the whole modeled manycore — engine, network, banks (with their
+// atomic adapters), cores (with their Qnodes), and the SPM allocator.
+//
+// Construction wires everything; workloads are attached per core as
+// coroutines and the simulation is driven with run()/runUntil(). Teardown
+// clears the event queue before destroying coroutine frames so no stale
+// event can touch a dead frame.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "arch/address.hpp"
+#include "arch/bank.hpp"
+#include "arch/config.hpp"
+#include "arch/network.hpp"
+#include "atomics/qnode.hpp"
+#include "core/core.hpp"
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+
+namespace colibri::arch {
+
+class System final : public CoreSink {
+ public:
+  explicit System(const SystemConfig& cfg);
+  ~System() override;
+
+  System(const System&) = delete;
+  System& operator=(const System&) = delete;
+
+  [[nodiscard]] const SystemConfig& config() const { return cfg_; }
+  [[nodiscard]] sim::Engine& engine() { return engine_; }
+  [[nodiscard]] Network& network() { return net_; }
+  [[nodiscard]] Allocator& allocator() { return alloc_; }
+  [[nodiscard]] const Topology& topology() const { return net_.topology(); }
+
+  [[nodiscard]] Core& core(CoreId c) { return *cores_[c]; }
+  [[nodiscard]] Bank& bank(BankId b) { return *banks_[b]; }
+  [[nodiscard]] atomics::Qnode& qnode(CoreId c) { return qnodes_[c]; }
+  [[nodiscard]] std::uint32_t numCores() const { return cfg_.numCores; }
+  [[nodiscard]] std::uint32_t numBanks() const { return cfg_.numBanks(); }
+
+  /// Attach a workload coroutine to a core and start it at the current time.
+  void spawn(CoreId c, sim::Task task);
+
+  /// Direct (zero-sim-time) memory access for setup and verification.
+  [[nodiscard]] sim::Word peek(sim::Addr a) const;
+  void poke(sim::Addr a, sim::Word v);
+
+  /// Run until the event queue drains (all cores finished or asleep).
+  void run();
+  /// Run events up to and including `horizon`.
+  void runUntil(sim::Cycle horizon);
+  /// Schedule `fn` at an absolute cycle (e.g. to flip a stop flag).
+  void at(sim::Cycle when, std::function<void()> fn);
+
+  [[nodiscard]] sim::Cycle now() const { return engine_.now(); }
+
+  /// Rethrow the first exception that escaped any core's task, if any.
+  void rethrowFailures() const;
+
+  /// True iff every spawned task ran to completion (none still asleep).
+  [[nodiscard]] bool allTasksDone() const;
+
+  /// Inject a request from a core into the network towards the owning bank.
+  /// Used by Core::issue and by Qnodes dispatching WakeUpRequests.
+  void injectRequest(CoreId from, const MemRequest& req);
+
+  /// Reset all measurement counters (cores, banks, network) — typically at
+  /// the end of a warmup phase. Reservation/protocol state is preserved.
+  void resetStats();
+
+  // --- CoreSink ----------------------------------------------------------
+  void deliverResponse(CoreId c, const MemResponse& r) override;
+  void deliverSuccessorUpdate(CoreId c, CoreId successor, sim::Addr a,
+                              bool successorIsMwait) override;
+
+ private:
+  SystemConfig cfg_;
+  sim::Engine engine_;
+  Network net_;
+  Allocator alloc_;
+  std::vector<std::unique_ptr<Bank>> banks_;
+  std::vector<atomics::Qnode> qnodes_;
+  std::vector<std::unique_ptr<Core>> cores_;
+};
+
+}  // namespace colibri::arch

@@ -1,0 +1,17 @@
+#include "arch/topology.hpp"
+
+namespace colibri::arch {
+
+const char* toString(Distance d) {
+  switch (d) {
+    case Distance::kLocalTile:
+      return "local-tile";
+    case Distance::kSameGroup:
+      return "same-group";
+    case Distance::kRemoteGroup:
+      return "remote-group";
+  }
+  return "?";
+}
+
+}  // namespace colibri::arch

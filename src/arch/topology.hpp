@@ -1,0 +1,63 @@
+// Physical topology: which tile/group a core or bank belongs to, and the
+// distance class between a core and a bank. Latency and energy per message
+// are functions of the distance class only (hierarchical interconnect).
+#pragma once
+
+#include <cstdint>
+
+#include "arch/config.hpp"
+#include "sim/types.hpp"
+
+namespace colibri::arch {
+
+using sim::BankId;
+using sim::CoreId;
+using sim::GroupId;
+using sim::TileId;
+
+enum class Distance : std::uint8_t {
+  kLocalTile,   ///< core and bank share a tile: single-cycle path
+  kSameGroup,   ///< same group, different tile: through the group router
+  kRemoteGroup  ///< different group: through inter-group links
+};
+
+[[nodiscard]] const char* toString(Distance d);
+
+class Topology {
+ public:
+  explicit Topology(const SystemConfig& cfg)
+      : coresPerTile_(cfg.coresPerTile),
+        banksPerTile_(cfg.banksPerTile),
+        tilesPerGroup_(cfg.tilesPerGroup) {}
+
+  [[nodiscard]] TileId tileOfCore(CoreId c) const { return c / coresPerTile_; }
+  [[nodiscard]] TileId tileOfBank(BankId b) const { return b / banksPerTile_; }
+  [[nodiscard]] GroupId groupOfTile(TileId t) const {
+    return t / tilesPerGroup_;
+  }
+  [[nodiscard]] GroupId groupOfCore(CoreId c) const {
+    return groupOfTile(tileOfCore(c));
+  }
+  [[nodiscard]] GroupId groupOfBank(BankId b) const {
+    return groupOfTile(tileOfBank(b));
+  }
+
+  [[nodiscard]] Distance distance(TileId src, TileId dst) const {
+    if (src == dst) {
+      return Distance::kLocalTile;
+    }
+    return groupOfTile(src) == groupOfTile(dst) ? Distance::kSameGroup
+                                                : Distance::kRemoteGroup;
+  }
+
+  [[nodiscard]] Distance coreToBank(CoreId c, BankId b) const {
+    return distance(tileOfCore(c), tileOfBank(b));
+  }
+
+ private:
+  std::uint32_t coresPerTile_;
+  std::uint32_t banksPerTile_;
+  std::uint32_t tilesPerGroup_;
+};
+
+}  // namespace colibri::arch

@@ -1,0 +1,31 @@
+#include "atomics/adapter.hpp"
+
+#include "atomics/amo.hpp"
+#include "atomics/colibri.hpp"
+#include "atomics/lrsc_single.hpp"
+#include "atomics/lrsc_table.hpp"
+#include "atomics/lrscwait.hpp"
+#include "sim/check.hpp"
+
+namespace colibri::atomics {
+
+std::unique_ptr<AtomicAdapter> makeAdapter(const arch::SystemConfig& cfg,
+                                           BankContext& ctx) {
+  switch (cfg.adapter) {
+    case arch::AdapterKind::kAmoOnly:
+      return std::make_unique<AmoAdapter>(ctx);
+    case arch::AdapterKind::kLrscSingle:
+      return std::make_unique<LrscSingleAdapter>(ctx);
+    case arch::AdapterKind::kLrscTable:
+      return std::make_unique<LrscTableAdapter>(ctx);
+    case arch::AdapterKind::kLrscWait:
+      return std::make_unique<LrscWaitAdapter>(ctx, cfg.lrscWaitQueueCapacity);
+    case arch::AdapterKind::kColibri:
+      return std::make_unique<ColibriAdapter>(ctx,
+                                              cfg.colibriQueuesPerController);
+  }
+  COLIBRI_CHECK_MSG(false, "unknown adapter kind");
+  return nullptr;
+}
+
+}  // namespace colibri::atomics

@@ -1,0 +1,43 @@
+#include "atomics/amo.hpp"
+
+#include "sim/check.hpp"
+
+namespace colibri::atomics {
+
+bool AtomicAdapter::handleBasic(const MemRequest& req) {
+  switch (req.kind) {
+    case OpKind::kLoad: {
+      ++stats_.loads;
+      ctx_.respond(req.core, MemResponse{ctx_.read(req.addr), true, true});
+      return true;
+    }
+    case OpKind::kStore: {
+      ++stats_.stores;
+      ctx_.writeRaw(req.addr, req.value);
+      // onWrite runs after the commit so Mwait wake responses observe the
+      // new value. Stores are posted: no response to the writer.
+      onWrite(req.addr);
+      return true;
+    }
+    default:
+      break;
+  }
+  if (arch::isAmo(req.kind)) {
+    ++stats_.amos;
+    const Word old = ctx_.read(req.addr);
+    ctx_.writeRaw(req.addr, arch::applyAmo(req.kind, old, req.value));
+    onWrite(req.addr);
+    ctx_.respond(req.core, MemResponse{old, true, true});
+    return true;
+  }
+  return false;
+}
+
+void AmoAdapter::handle(const MemRequest& req) {
+  const bool handled = handleBasic(req);
+  COLIBRI_CHECK_MSG(handled, "AmoAdapter cannot handle op "
+                                 << arch::toString(req.kind)
+                                 << " (LR/SC and waits unsupported)");
+}
+
+}  // namespace colibri::atomics

@@ -1,0 +1,21 @@
+// AMO-only adapter: the bank executes read-modify-write AMOs atomically in
+// one port slot. This is the paper's "Atomic Add" roofline — the best any
+// generic scheme could do for a simple increment — and the substrate for
+// lock variables (amoswap-based test-and-set).
+//
+// LR/SC and the wait extension are unsupported: issuing them on this
+// adapter is a software bug and trips an invariant.
+#pragma once
+
+#include "atomics/adapter.hpp"
+
+namespace colibri::atomics {
+
+class AmoAdapter final : public AtomicAdapter {
+ public:
+  using AtomicAdapter::AtomicAdapter;
+
+  void handle(const MemRequest& req) override;
+};
+
+}  // namespace colibri::atomics

@@ -1,0 +1,65 @@
+#include "atomics/lrsc_single.hpp"
+
+#include "sim/check.hpp"
+
+namespace colibri::atomics {
+
+void LrscSingleAdapter::handle(const MemRequest& req) {
+  if (handleBasic(req)) {
+    return;
+  }
+  switch (req.kind) {
+    case OpKind::kLr: {
+      // Take the slot only if it is free (or already ours — re-LR moves
+      // the reservation). A busy slot stays with its owner; the newcomer
+      // reads the value but will fail its SC.
+      if (!valid_ || core_ == req.core) {
+        valid_ = true;
+        core_ = req.core;
+        addr_ = req.addr;
+        ++stats_.lrGrants;
+      } else {
+        ++stats_.lrFails;  // no reservation placed
+      }
+      ctx_.respond(req.core, MemResponse{ctx_.read(req.addr), true, true});
+      return;
+    }
+    case OpKind::kSc: {
+      const bool success = valid_ && core_ == req.core && addr_ == req.addr;
+      if (success) {
+        valid_ = false;
+        commit(req);
+      } else {
+        if (valid_ && core_ == req.core) {
+          valid_ = false;  // own SC to the wrong address frees the slot
+        }
+        ++stats_.scFailures;
+      }
+      ctx_.respond(req.core, MemResponse{0, success, true});
+      return;
+    }
+    default:
+      COLIBRI_CHECK_MSG(false, "LrscSingleAdapter cannot handle op "
+                                   << arch::toString(req.kind));
+  }
+}
+
+void LrscSingleAdapter::commit(const MemRequest& req) {
+  ++stats_.scSuccesses;
+  ctx_.writeRaw(req.addr, req.value);
+  onWrite(req.addr);
+}
+
+void LrscSingleAdapter::onWrite(Addr a) {
+  if (valid_ && addr_ == a) {
+    valid_ = false;
+  }
+}
+
+void LrscSingleAdapter::reset() {
+  AtomicAdapter::reset();
+  valid_ = false;
+  core_ = sim::kNoCore;
+}
+
+}  // namespace colibri::atomics

@@ -1,0 +1,56 @@
+#include "atomics/lrsc_table.hpp"
+
+#include "sim/check.hpp"
+
+namespace colibri::atomics {
+
+void LrscTableAdapter::handle(const MemRequest& req) {
+  if (handleBasic(req)) {
+    return;
+  }
+  switch (req.kind) {
+    case OpKind::kLr: {
+      COLIBRI_CHECK(req.core < entries_.size());
+      entries_[req.core] = Entry{true, req.addr};
+      ++stats_.lrGrants;
+      ctx_.respond(req.core, MemResponse{ctx_.read(req.addr), true, true});
+      return;
+    }
+    case OpKind::kSc: {
+      COLIBRI_CHECK(req.core < entries_.size());
+      Entry& e = entries_[req.core];
+      const bool success = e.valid && e.addr == req.addr;
+      e.valid = false;
+      if (success) {
+        ++stats_.scSuccesses;
+        // Commit, then invalidate every other reservation on this address.
+        ctx_.writeRaw(req.addr, req.value);
+        onWrite(req.addr);
+      } else {
+        ++stats_.scFailures;
+      }
+      ctx_.respond(req.core, MemResponse{0, success, true});
+      return;
+    }
+    default:
+      COLIBRI_CHECK_MSG(false, "LrscTableAdapter cannot handle op "
+                                   << arch::toString(req.kind));
+  }
+}
+
+void LrscTableAdapter::onWrite(Addr a) {
+  for (Entry& e : entries_) {
+    if (e.valid && e.addr == a) {
+      e.valid = false;
+    }
+  }
+}
+
+void LrscTableAdapter::reset() {
+  AtomicAdapter::reset();
+  for (Entry& e : entries_) {
+    e = Entry{};
+  }
+}
+
+}  // namespace colibri::atomics

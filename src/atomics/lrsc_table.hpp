@@ -1,0 +1,35 @@
+// ATUN-style LR/SC: one reservation entry per core per bank [11].
+//
+// Every core can hold its own reservation simultaneously (non-blocking
+// LR/SC, CAS-like behavior): a write to an address invalidates *all*
+// reservations on it, so under contention exactly one SC per round
+// succeeds and the losers retry. The hardware cost of the full table is
+// what Table I's area model charges for reservation-table designs.
+#pragma once
+
+#include <vector>
+
+#include "atomics/adapter.hpp"
+
+namespace colibri::atomics {
+
+class LrscTableAdapter final : public AtomicAdapter {
+ public:
+  explicit LrscTableAdapter(BankContext& ctx)
+      : AtomicAdapter(ctx), entries_(ctx.numCores()) {}
+
+  void handle(const MemRequest& req) override;
+  void reset() override;
+
+ private:
+  struct Entry {
+    bool valid = false;
+    Addr addr = 0;
+  };
+
+  void onWrite(Addr a) override;
+
+  std::vector<Entry> entries_;  // indexed by core id
+};
+
+}  // namespace colibri::atomics

@@ -1,0 +1,145 @@
+#include "atomics/lrscwait.hpp"
+
+#include <algorithm>
+
+#include "sim/check.hpp"
+
+namespace colibri::atomics {
+
+bool LrscWaitAdapter::hasEarlierForAddr(std::list<Entry>::const_iterator it,
+                                        Addr a) const {
+  for (auto j = queue_.begin(); j != it; ++j) {
+    if (j->addr == a) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool LrscWaitAdapter::serve(std::list<Entry>::iterator it) {
+  COLIBRI_CHECK(!it->served);
+  if (it->isMwait) {
+    const Word cur = ctx_.read(it->addr);
+    if (cur != it->expected) {
+      // The change already happened: notify immediately (Section III-C).
+      ++stats_.mwaitWakes;
+      ctx_.respond(it->core, MemResponse{cur, true, true});
+      queue_.erase(it);
+      return true;
+    }
+    it->served = true;  // monitoring; a write will wake it
+    return false;
+  }
+  // LRwait: grant — respond with the current value and hold a reservation.
+  it->served = true;
+  it->resvValid = true;
+  ++stats_.lrGrants;
+  ctx_.respond(it->core, MemResponse{ctx_.read(it->addr), true, true});
+  return false;
+}
+
+void LrscWaitAdapter::pump() {
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (!it->served && !hasEarlierForAddr(it, it->addr)) {
+        if (serve(it)) {
+          progressed = true;  // iterator invalidated; rescan
+          break;
+        }
+      }
+    }
+  }
+}
+
+void LrscWaitAdapter::handle(const MemRequest& req) {
+  if (handleBasic(req)) {
+    return;
+  }
+  switch (req.kind) {
+    case OpKind::kLrWait:
+    case OpKind::kMwait: {
+      if (queue_.size() >= capacity_) {
+        // Full queue: immediate failure, the core retries (Section III-B).
+        ++stats_.lrFails;
+        ctx_.respond(req.core, MemResponse{0, false, true});
+        return;
+      }
+      Entry e;
+      e.core = req.core;
+      e.addr = req.addr;
+      e.isMwait = req.kind == OpKind::kMwait;
+      e.expected = req.value;
+      queue_.push_back(e);
+      pump();
+      return;
+    }
+    case OpKind::kScWait: {
+      // The issuer must hold the served LRwait for this address: the
+      // adapter granted it exclusively, so anything else is a protocol bug.
+      auto it = std::find_if(queue_.begin(), queue_.end(), [&](const Entry& e) {
+        return e.core == req.core && e.addr == req.addr && !e.isMwait;
+      });
+      COLIBRI_CHECK_MSG(it != queue_.end() && it->served,
+                        "SCwait without a served LRwait (core "
+                            << req.core << ", addr " << req.addr << ")");
+      const bool success = it->resvValid;
+      queue_.erase(it);
+      if (success) {
+        ++stats_.scSuccesses;
+        ctx_.writeRaw(req.addr, req.value);
+      } else {
+        ++stats_.scFailures;
+      }
+      // Respond to the SCwait first, then let the commit wake monitors and
+      // the dequeue serve the next waiter (in-order response stream).
+      ctx_.respond(req.core, MemResponse{0, success, true});
+      if (success) {
+        onWrite(req.addr);
+      }
+      pump();
+      return;
+    }
+    default:
+      COLIBRI_CHECK_MSG(false, "LrscWaitAdapter cannot handle op "
+                                   << arch::toString(req.kind));
+  }
+}
+
+void LrscWaitAdapter::onWrite(Addr a) {
+  // Invalidate the served LRwait reservation (its SCwait will fail) and
+  // wake every queued Mwait on this address with the freshly written value.
+  const Word cur = ctx_.read(a);
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    if (it->addr != a) {
+      ++it;
+      continue;
+    }
+    if (it->isMwait) {
+      ++stats_.mwaitWakes;
+      ctx_.respond(it->core, MemResponse{cur, true, true});
+      it = queue_.erase(it);
+      continue;
+    }
+    if (it->served) {
+      it->resvValid = false;
+    }
+    ++it;
+  }
+  pump();
+}
+
+bool LrscWaitAdapter::holdsGrant(CoreId core, Addr a) const {
+  return std::any_of(queue_.begin(), queue_.end(), [&](const Entry& e) {
+    return e.core == core && e.addr == a && !e.isMwait && e.served &&
+           e.resvValid;
+  });
+}
+
+void LrscWaitAdapter::reset() {
+  AtomicAdapter::reset();
+  queue_.clear();
+}
+
+}  // namespace colibri::atomics

@@ -1,0 +1,120 @@
+#include "core/core.hpp"
+
+#include "arch/system.hpp"
+#include "atomics/qnode.hpp"
+#include "sim/check.hpp"
+
+namespace colibri::arch {
+
+Core::Core(System& sys, CoreId id)
+    : sys_(sys), id_(id), tile_(sys.topology().tileOfCore(id)) {}
+
+void Core::run(sim::Task task) {
+  COLIBRI_CHECK_MSG(!task_.valid(), "core already has a task");
+  task_ = std::move(task);
+  task_.start();
+}
+
+sim::Cycle Core::nextIssueCycle() const {
+  const Cycle now = sys_.engine().now();
+  if (!hasIssued_) {
+    return now;
+  }
+  const Cycle earliest = lastIssue_ + sys_.config().issueInterval;
+  return earliest > now ? earliest : now;
+}
+
+void Core::issue(const MemRequest& req, std::coroutine_handle<> h,
+                 MemResponse* out) {
+  COLIBRI_CHECK_MSG(pendingHandle_ == nullptr,
+                    "core " << id_ << " has an outstanding op (single-issue)");
+  stats_.issuedByKind[static_cast<std::size_t>(req.kind)]++;
+
+  const Cycle depart = nextIssueCycle();
+  hasIssued_ = true;
+  lastIssue_ = depart;
+
+  if (req.kind == OpKind::kStore) {
+    // Posted store: the request travels on its own; the core continues
+    // right after the issue slot.
+    sys_.engine().scheduleAt(depart, [this, req, h] {
+      sys_.injectRequest(id_, req);
+      h.resume();
+    });
+    return;
+  }
+
+  pendingHandle_ = h;
+  pendingOut_ = out;
+  pendingKind_ = req.kind;
+
+  sys_.engine().scheduleAt(depart, [this, req] {
+    pendingSince_ = sys_.engine().now();
+    // The request passes the core's Qnode on its way out (Colibri only).
+    // Wait registration happens before injection; the SCwait hook runs
+    // *after* injection because it may dispatch a WakeUpRequest that must
+    // follow the SCwait on the same core->bank FIFO path.
+    if (qnode_ != nullptr &&
+        (req.kind == OpKind::kLrWait || req.kind == OpKind::kMwait)) {
+      qnode_->onWaitIssued(req.addr, req.kind == OpKind::kMwait);
+    }
+    sys_.injectRequest(id_, req);
+    if (qnode_ != nullptr && req.kind == OpKind::kScWait) {
+      qnode_->onScWaitIssued();
+    }
+  });
+}
+
+void Core::complete(const MemResponse& r) {
+  COLIBRI_CHECK_MSG(pendingHandle_ != nullptr,
+                    "response delivered to core " << id_
+                                                  << " with no pending op");
+  const Cycle waited = sys_.engine().now() - pendingSince_;
+  if (arch::isSleepingWait(pendingKind_)) {
+    stats_.sleepCycles += waited;
+  } else {
+    stats_.stallCycles += waited;
+  }
+
+  if (qnode_ != nullptr) {
+    switch (pendingKind_) {
+      case OpKind::kLrWait:
+        qnode_->onLrWaitResponse(r.ok);
+        break;
+      case OpKind::kScWait:
+        qnode_->onScWaitResponse(r.lastInQueue);
+        break;
+      case OpKind::kMwait:
+        qnode_->onMwaitResponse(r.ok, r.lastInQueue);
+        break;
+      default:
+        break;
+    }
+  }
+
+  auto h = pendingHandle_;
+  *pendingOut_ = r;
+  pendingHandle_ = nullptr;
+  pendingOut_ = nullptr;
+  h.resume();
+  task_.rethrowIfFailed();
+}
+
+void Core::delayed(Cycle n, std::coroutine_handle<> h) {
+  stats_.computeCycles += n;
+  // Compute occupies the issue pipeline: the next memory op cannot depart
+  // before the computation ends.
+  const Cycle done = sys_.engine().now() + n;
+  const Cycle interval = sys_.config().issueInterval;
+  const Cycle issueMark = done > interval ? done - interval : 0;
+  if (!hasIssued_ || lastIssue_ < issueMark) {
+    hasIssued_ = true;
+    lastIssue_ = issueMark;
+  }
+  sys_.engine().scheduleAt(done, [this, h] {
+    h.resume();
+    task_.rethrowIfFailed();
+  });
+}
+
+}  // namespace colibri::arch

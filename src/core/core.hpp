@@ -1,0 +1,145 @@
+// Core model.
+//
+// A Core models one Snitch-like in-order core: it executes a workload
+// kernel written as a C++20 coroutine that issues blocking memory
+// operations (`co_await core.load(a)`), posted stores, and explicit compute
+// delays. At most one memory operation is outstanding (single-issue,
+// blocking pipeline), and consecutive issues are at least
+// `issueInterval` cycles apart.
+//
+// Sleep accounting: while waiting for an LRwait/Mwait response the core is
+// *asleep* (clock-gated — the polling-free property the paper measures);
+// while waiting for loads/AMOs/SCs it is busy-stalled. The split feeds the
+// energy model (Table II).
+//
+// The Qnode hooks fire when an operation physically passes the core's
+// Qnode (at request departure), matching the Colibri protocol ordering.
+#pragma once
+
+#include <array>
+#include <coroutine>
+#include <cstdint>
+
+#include "arch/memop.hpp"
+#include "sim/task.hpp"
+#include "sim/types.hpp"
+
+namespace colibri::atomics {
+class Qnode;
+}
+
+namespace colibri::arch {
+class System;
+
+using sim::Cycle;
+using sim::TileId;
+
+struct CoreStats {
+  std::array<std::uint64_t, 16> issuedByKind{};  // indexed by OpKind
+  std::uint64_t computeCycles = 0;               ///< explicit delay() cycles
+  std::uint64_t sleepCycles = 0;                 ///< LRwait/Mwait waits
+  std::uint64_t stallCycles = 0;                 ///< load/AMO/SC waits
+
+  [[nodiscard]] std::uint64_t issued(OpKind k) const {
+    return issuedByKind[static_cast<std::size_t>(k)];
+  }
+  [[nodiscard]] std::uint64_t totalIssued() const {
+    std::uint64_t n = 0;
+    for (auto v : issuedByKind) {
+      n += v;
+    }
+    return n;
+  }
+  void reset() { *this = CoreStats{}; }
+};
+
+class Core {
+ public:
+  Core(System& sys, CoreId id);
+  Core(const Core&) = delete;
+  Core& operator=(const Core&) = delete;
+
+  [[nodiscard]] CoreId id() const { return id_; }
+  [[nodiscard]] TileId tile() const { return tile_; }
+
+  // --- Workload-facing awaitables ---------------------------------------
+  struct [[nodiscard]] MemAwait {
+    Core& core;
+    MemRequest req;
+    MemResponse resp{};
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) { core.issue(req, h, &resp); }
+    MemResponse await_resume() const noexcept { return resp; }
+  };
+
+  struct [[nodiscard]] DelayAwait {
+    Core& core;
+    Cycle cycles;
+    bool await_ready() const noexcept { return cycles == 0; }
+    void await_suspend(std::coroutine_handle<> h) { core.delayed(cycles, h); }
+    void await_resume() const noexcept {}
+  };
+
+  MemAwait op(OpKind k, sim::Addr a, sim::Word v = 0) {
+    return MemAwait{*this, MemRequest{k, a, v, id_, false}, {}};
+  }
+  MemAwait load(sim::Addr a) { return op(OpKind::kLoad, a); }
+  MemAwait store(sim::Addr a, sim::Word v) { return op(OpKind::kStore, a, v); }
+  MemAwait amoAdd(sim::Addr a, sim::Word v) { return op(OpKind::kAmoAdd, a, v); }
+  MemAwait amoSwap(sim::Addr a, sim::Word v) {
+    return op(OpKind::kAmoSwap, a, v);
+  }
+  MemAwait amoOr(sim::Addr a, sim::Word v) { return op(OpKind::kAmoOr, a, v); }
+  MemAwait amoAnd(sim::Addr a, sim::Word v) { return op(OpKind::kAmoAnd, a, v); }
+  MemAwait lr(sim::Addr a) { return op(OpKind::kLr, a); }
+  MemAwait sc(sim::Addr a, sim::Word v) { return op(OpKind::kSc, a, v); }
+  MemAwait lrWait(sim::Addr a) { return op(OpKind::kLrWait, a); }
+  MemAwait scWait(sim::Addr a, sim::Word v) { return op(OpKind::kScWait, a, v); }
+  /// Sleep until `a` is written (or immediately if *a != expected).
+  MemAwait mwait(sim::Addr a, sim::Word expected) {
+    return op(OpKind::kMwait, a, expected);
+  }
+  /// Busy-compute for `n` cycles (models non-memory instructions).
+  DelayAwait delay(Cycle n) { return DelayAwait{*this, n}; }
+
+  // --- Simulation plumbing ----------------------------------------------
+  /// Attach and start the workload coroutine.
+  void run(sim::Task task);
+  /// Response delivery (called by System when the network delivers).
+  void complete(const MemResponse& r);
+  /// Propagate an exception that escaped the task, if any.
+  void rethrowIfFailed() const { task_.rethrowIfFailed(); }
+  [[nodiscard]] bool taskDone() const { return task_.done(); }
+  [[nodiscard]] bool hasOutstandingOp() const { return pendingHandle_ != nullptr; }
+
+  [[nodiscard]] const CoreStats& stats() const { return stats_; }
+  void resetStats() { stats_.reset(); }
+
+ private:
+  friend struct MemAwait;
+  friend struct DelayAwait;
+
+  void issue(const MemRequest& req, std::coroutine_handle<> h,
+             MemResponse* out);
+  void delayed(Cycle n, std::coroutine_handle<> h);
+  [[nodiscard]] Cycle nextIssueCycle() const;
+
+  System& sys_;
+  CoreId id_;
+  TileId tile_;
+  atomics::Qnode* qnode_ = nullptr;  // set by System when Colibri is active
+
+  sim::Task task_;
+  std::coroutine_handle<> pendingHandle_;
+  MemResponse* pendingOut_ = nullptr;
+  OpKind pendingKind_ = OpKind::kLoad;
+  Cycle pendingSince_ = 0;
+  bool hasIssued_ = false;
+  Cycle lastIssue_ = 0;
+
+  CoreStats stats_;
+
+  friend class System;
+};
+
+}  // namespace colibri::arch

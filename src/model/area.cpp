@@ -1,0 +1,50 @@
+#include "model/area.hpp"
+
+namespace colibri::model {
+
+double lrscWaitTileArea(const arch::SystemConfig& cfg, std::uint32_t q,
+                        const AreaParams& p) {
+  const double perBank =
+      p.lrscWaitFixedPerBank + p.lrscWaitPerSlotPerBank * q;
+  return p.baseTileKge + perBank * cfg.banksPerTile;
+}
+
+double colibriTileArea(const arch::SystemConfig& cfg, std::uint32_t queues,
+                       const AreaParams& p) {
+  const double qnodes = p.colibriQnodePerCore * cfg.coresPerTile;
+  const double perBank =
+      p.colibriCtrlFixedPerBank + p.colibriPerQueuePerBank * queues;
+  return p.baseTileKge + qnodes + perBank * cfg.banksPerTile;
+}
+
+double systemOverheadKge(const arch::SystemConfig& cfg, bool colibri,
+                         std::uint32_t qOrQueues, const AreaParams& p) {
+  const double tile = colibri ? colibriTileArea(cfg, qOrQueues, p)
+                              : lrscWaitTileArea(cfg, qOrQueues, p);
+  return (tile - p.baseTileKge) * cfg.numTiles();
+}
+
+std::vector<TableOneRow> tableOne(const arch::SystemConfig& cfg,
+                                  const AreaParams& p) {
+  std::vector<TableOneRow> rows;
+  const double base = p.baseTileKge;
+  auto add = [&](std::string arch, std::string params, double kge,
+                 double paper) {
+    rows.push_back(TableOneRow{std::move(arch), std::move(params), kge,
+                               100.0 * kge / base, paper});
+  };
+  add("MemPool tile", "none", base, 691.0);
+  add("with LRSCwait_1", "1 queue slot", lrscWaitTileArea(cfg, 1, p), 790.0);
+  add("with LRSCwait_8", "8 queue slots", lrscWaitTileArea(cfg, 8, p), 865.0);
+  // LRSCwait_ideal needs a slot per core: "physically infeasible" per the
+  // paper; the model shows why.
+  add("with LRSCwait_ideal", std::to_string(cfg.numCores) + " queue slots",
+      lrscWaitTileArea(cfg, cfg.numCores, p), 0.0);
+  add("with Colibri+Mwait", "1 address", colibriTileArea(cfg, 1, p), 732.0);
+  add("with Colibri+Mwait", "2 addresses", colibriTileArea(cfg, 2, p), 750.0);
+  add("with Colibri+Mwait", "4 addresses", colibriTileArea(cfg, 4, p), 761.0);
+  add("with Colibri+Mwait", "8 addresses", colibriTileArea(cfg, 8, p), 802.0);
+  return rows;
+}
+
+}  // namespace colibri::model

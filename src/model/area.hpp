@@ -1,0 +1,72 @@
+// Structural area model for Table I.
+//
+// The paper implements MemPool tiles in GF22FDX and reports kGE (kilo gate
+// equivalents) per tile for each reservation design. We model area
+// structurally — registers, comparators and control FSMs, costed in kGE —
+// with constants calibrated against the paper's anchors:
+//
+//     MemPool tile (baseline)            691 kGE
+//     + LRSCwait_1                       790 kGE (+16.4 %)
+//     + LRSCwait_8                       865 kGE (+27.4 %)
+//     + Colibri, 1..8 queues/controller  732 / 750 / 761 / 802 kGE
+//
+// The model's purpose is the scaling *shape*: a reservation queue per bank
+// grows linearly in q per bank (quadratically system-wide once q tracks
+// the core count — the O(n^2) argument of Section III-A), while Colibri
+// adds one Qnode per core and O(Q) registers per controller.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/config.hpp"
+
+namespace colibri::model {
+
+struct AreaParams {
+  double baseTileKge = 691.0;
+
+  // Per-bank cost of an LRSCwait_q adapter: fixed monitor/control logic
+  // plus per-slot storage (core id + address + valid + FIFO cell).
+  double lrscWaitFixedPerBank = 5.52;
+  double lrscWaitPerSlotPerBank = 0.67;
+
+  // Colibri: per-core Qnode (successor id, type bit, FSM) and per-bank
+  // controller (fixed control + head/tail/address registers per queue).
+  double colibriQnodePerCore = 3.0;
+  double colibriCtrlFixedPerBank = 1.41;
+  double colibriPerQueuePerBank = 0.594;
+};
+
+/// Area of one tile (kGE) with an LRSCwait_q adapter on each of its banks.
+[[nodiscard]] double lrscWaitTileArea(const arch::SystemConfig& cfg,
+                                      std::uint32_t q,
+                                      const AreaParams& p = {});
+
+/// Area of one tile (kGE) with Colibri: Qnodes for the tile's cores plus a
+/// controller with `queues` head/tail pairs on each bank.
+[[nodiscard]] double colibriTileArea(const arch::SystemConfig& cfg,
+                                     std::uint32_t queues,
+                                     const AreaParams& p = {});
+
+/// Whole-system overhead in kGE over the baseline (for the scaling plot:
+/// LRSCwait_ideal grows ~quadratically with cores, Colibri linearly).
+[[nodiscard]] double systemOverheadKge(const arch::SystemConfig& cfg,
+                                       bool colibri, std::uint32_t qOrQueues,
+                                       const AreaParams& p = {});
+
+struct TableOneRow {
+  std::string architecture;
+  std::string parameters;
+  double areaKge = 0.0;
+  double areaPercent = 0.0;  ///< relative to the baseline tile
+  double paperKge = 0.0;     ///< 0 if the paper has no anchor for this row
+};
+
+/// The full Table I (model values side by side with the paper's anchors).
+[[nodiscard]] std::vector<TableOneRow> tableOne(
+    const arch::SystemConfig& cfg = arch::SystemConfig::memPool(),
+    const AreaParams& p = {});
+
+}  // namespace colibri::model

@@ -1,0 +1,40 @@
+#include "model/energy.hpp"
+
+namespace colibri::model {
+
+EnergyBreakdown chargeEnergy(const workloads::SystemCounters& c,
+                             const EnergyParams& p) {
+  EnergyBreakdown e;
+  e.instructionPj = static_cast<double>(c.instructions) * p.instruction;
+  e.bankPj = static_cast<double>(c.bankAccesses) * p.bankAccess;
+  e.networkPj =
+      static_cast<double>(c.netMessages[0]) * p.msgLocalTile +
+      static_cast<double>(c.netMessages[1]) * p.msgSameGroup +
+      static_cast<double>(c.netMessages[2]) * p.msgRemoteGroup;
+  e.computePj = static_cast<double>(c.computeCycles) * p.computeCycle;
+  e.stallPj = static_cast<double>(c.stallCycles) * p.stallCycle;
+  e.sleepPj = static_cast<double>(c.sleepCycles) * p.sleepCycle;
+  return e;
+}
+
+double energyPerOp(const workloads::SystemCounters& counters,
+                   std::uint64_t opsCompleted, const EnergyParams& p) {
+  if (opsCompleted == 0) {
+    return 0.0;
+  }
+  return chargeEnergy(counters, p).totalPj() /
+         static_cast<double>(opsCompleted);
+}
+
+double averagePowerMw(const workloads::SystemCounters& counters,
+                      const EnergyParams& p) {
+  if (counters.windowCycles == 0) {
+    return p.idlePowerMw;
+  }
+  const double totalPj = chargeEnergy(counters, p).totalPj();
+  const double seconds =
+      static_cast<double>(counters.windowCycles) / (p.mhz * 1e6);
+  return p.idlePowerMw + totalPj * 1e-12 / seconds * 1e3;
+}
+
+}  // namespace colibri::model

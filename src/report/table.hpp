@@ -1,0 +1,41 @@
+// Plain-text table / CSV emission shared by the bench harnesses.
+//
+// Every bench prints the rows/series of one paper table or figure; the
+// printer keeps the output aligned and greppable, and can mirror the rows
+// to CSV for external plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace colibri::report {
+
+enum class Align { kLeft, kRight };
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& addRow(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+  void printCsv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with `prec` fractional digits.
+[[nodiscard]] std::string fmt(double v, int prec = 3);
+/// Format as "xN" speedup (e.g. "6.5x").
+[[nodiscard]] std::string fmtSpeedup(double v);
+/// Format a percentage.
+[[nodiscard]] std::string fmtPercent(double v, int prec = 1);
+
+/// Print a section banner ("=== Figure 3: ... ===").
+void banner(std::ostream& os, const std::string& title);
+
+}  // namespace colibri::report

@@ -1,0 +1,28 @@
+#include "sim/log.hpp"
+
+namespace colibri::sim {
+
+LogLevel Log::level_ = LogLevel::kNone;
+
+void Log::write(LogLevel l, Cycle at, std::string_view msg) {
+  const char* tag = "?";
+  switch (l) {
+    case LogLevel::kError:
+      tag = "E";
+      break;
+    case LogLevel::kWarn:
+      tag = "W";
+      break;
+    case LogLevel::kInfo:
+      tag = "I";
+      break;
+    case LogLevel::kTrace:
+      tag = "T";
+      break;
+    case LogLevel::kNone:
+      break;
+  }
+  std::clog << '[' << tag << ' ' << at << "] " << msg << '\n';
+}
+
+}  // namespace colibri::sim

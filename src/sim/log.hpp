@@ -1,0 +1,44 @@
+// Minimal leveled logging for the simulator.
+//
+// Protocol traces (adapter decisions, Colibri messages) are invaluable when
+// debugging races, but must cost nothing when disabled: the macro checks
+// the level before evaluating the stream expression.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+#include "sim/types.hpp"
+
+namespace colibri::sim {
+
+enum class LogLevel { kNone = 0, kError, kWarn, kInfo, kTrace };
+
+class Log {
+ public:
+  static LogLevel level() { return level_; }
+  static void setLevel(LogLevel l) { level_ = l; }
+  static bool enabled(LogLevel l) {
+    return static_cast<int>(l) <= static_cast<int>(level_);
+  }
+
+  static void write(LogLevel l, Cycle at, std::string_view msg);
+
+ private:
+  static LogLevel level_;
+};
+
+}  // namespace colibri::sim
+
+#define COLIBRI_LOG(lvl, cycle, expr)                                \
+  do {                                                               \
+    if (::colibri::sim::Log::enabled(lvl)) {                         \
+      std::ostringstream os_;                                        \
+      os_ << expr;                                                   \
+      ::colibri::sim::Log::write(lvl, cycle, os_.str());             \
+    }                                                                \
+  } while (false)
+
+#define COLIBRI_TRACE(cycle, expr) \
+  COLIBRI_LOG(::colibri::sim::LogLevel::kTrace, cycle, expr)

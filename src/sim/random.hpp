@@ -1,0 +1,81 @@
+// Deterministic pseudo-random number generation.
+//
+// xoshiro256** (Blackman & Vigna) — small, fast, and good enough for
+// workload randomization (bin selection, backoff jitter). Each simulated
+// core gets its own stream derived from a global seed via splitmix64 so
+// results are reproducible regardless of event interleaving.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace colibri::sim {
+
+/// splitmix64: used to seed xoshiro from a single 64-bit value.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x853c49e6748fea9bULL) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) {
+      word = splitmix64(sm);
+    }
+  }
+
+  /// Derive a per-stream generator (e.g. one per core) from a base seed.
+  static Xoshiro256 forStream(std::uint64_t seed, std::uint64_t stream) {
+    std::uint64_t sm = seed ^ (0x9e3779b97f4a7c15ULL * (stream + 1));
+    return Xoshiro256(splitmix64(sm));
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) via Lemire's multiply-shift reduction.
+  std::uint64_t below(std::uint64_t bound) {
+    if (bound <= 1) {
+      return 0;
+    }
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(operator()()) * bound) >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi) {
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace colibri::sim

@@ -1,0 +1,3 @@
+// ThroughputResource is header-only; this TU anchors the target and keeps a
+// place for future out-of-line resource models (e.g. credit-based links).
+#include "sim/resource.hpp"

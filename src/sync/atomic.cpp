@@ -1,0 +1,109 @@
+#include "sync/atomic.hpp"
+
+#include "sim/check.hpp"
+
+namespace colibri::sync {
+
+const char* toString(RmwFlavor f) {
+  switch (f) {
+    case RmwFlavor::kAmo:
+      return "amo";
+    case RmwFlavor::kLrsc:
+      return "lrsc";
+    case RmwFlavor::kLrscWait:
+      return "lrscwait";
+  }
+  return "?";
+}
+
+sim::Co<RmwResult> fetchAdd(Core& core, RmwFlavor flavor, Addr a, Word delta,
+                            Backoff& backoff, const bool* abandon) {
+  switch (flavor) {
+    case RmwFlavor::kAmo: {
+      const auto r = co_await core.amoAdd(a, delta);
+      co_return RmwResult{r.value, true};
+    }
+    case RmwFlavor::kLrsc: {
+      while (true) {
+        const auto lr = co_await core.lr(a);
+        co_await core.delay(kRmwComputeCycles);
+        const auto sc = co_await core.sc(a, lr.value + delta);
+        if (sc.ok) {
+          co_return RmwResult{lr.value, true};
+        }
+        // Failed SC: the retry loop the paper sets out to eliminate.
+        co_await core.delay(backoff.next());
+        if (abandon != nullptr && *abandon) {
+          co_return RmwResult{0, false};
+        }
+      }
+    }
+    case RmwFlavor::kLrscWait: {
+      while (true) {
+        const auto lr = co_await core.lrWait(a);
+        if (!lr.ok) {
+          // Reservation queue full (LRSCwait_q / Colibri with too few
+          // slots): immediate fail, retry after backoff. We were never
+          // enqueued, so abandoning here is legal.
+          co_await core.delay(backoff.next());
+          if (abandon != nullptr && *abandon) {
+            co_return RmwResult{0, false};
+          }
+          continue;
+        }
+        co_await core.delay(kRmwComputeCycles);
+        const auto sc = co_await core.scWait(a, lr.value + delta);
+        if (sc.ok) {
+          co_return RmwResult{lr.value, true};
+        }
+        // SCwait can only fail if a plain store slipped in between; the
+        // queue already advanced past us, so re-enqueue.
+      }
+    }
+  }
+  COLIBRI_CHECK_MSG(false, "unreachable");
+  co_return RmwResult{};
+}
+
+sim::Co<CasResult> compareAndSwap(Core& core, RmwFlavor flavor, Addr a,
+                                  Word expected, Word desired,
+                                  Backoff& backoff) {
+  COLIBRI_CHECK_MSG(flavor != RmwFlavor::kAmo,
+                    "CAS needs a reservation pair (LR/SC or LRwait/SCwait)");
+  if (flavor == RmwFlavor::kLrsc) {
+    while (true) {
+      const auto lr = co_await core.lr(a);
+      if (lr.value != expected) {
+        // RISC-V allows abandoning an LR without an SC.
+        co_return CasResult{lr.value, false};
+      }
+      co_await core.delay(kRmwComputeCycles);
+      const auto sc = co_await core.sc(a, desired);
+      if (sc.ok) {
+        co_return CasResult{expected, true};
+      }
+      co_await core.delay(backoff.next());
+    }
+  }
+  // kLrscWait: every granted LRwait must be closed with an SCwait so the
+  // distributed queue advances (Section III constraint b) — on a value
+  // mismatch we store the *unchanged* value back to yield the queue.
+  while (true) {
+    const auto lr = co_await core.lrWait(a);
+    if (!lr.ok) {
+      co_await core.delay(backoff.next());
+      continue;
+    }
+    co_await core.delay(kRmwComputeCycles);
+    if (lr.value != expected) {
+      (void)co_await core.scWait(a, lr.value);  // yield the queue
+      co_return CasResult{lr.value, false};
+    }
+    const auto sc = co_await core.scWait(a, desired);
+    if (sc.ok) {
+      co_return CasResult{expected, true};
+    }
+  }
+}
+
+}  // namespace colibri::sync

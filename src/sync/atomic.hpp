@@ -1,0 +1,60 @@
+// Generic atomic read-modify-write operations over the three hardware
+// flavors the paper compares:
+//
+//   kAmo      — single-instruction AMO (only simple ops like add/swap),
+//   kLrsc     — standard LR/SC retry loop (polling, retries),
+//   kLrscWait — the paper's LRwait/SCwait pair (polling- and retry-free;
+//               the only retry left is the immediate-fail of a full
+//               reservation queue, and the rare SCwait failure after an
+//               interfering plain store).
+//
+// These are coroutines that run on a simulated Core; the flavor must match
+// the system's adapter (e.g. kLrscWait requires LrscWait or Colibri).
+#pragma once
+
+#include <cstdint>
+
+#include "core/core.hpp"
+#include "sim/co.hpp"
+#include "sim/random.hpp"
+#include "sync/backoff.hpp"
+
+namespace colibri::sync {
+
+using arch::Core;
+using sim::Addr;
+using sim::Word;
+
+enum class RmwFlavor : std::uint8_t { kAmo, kLrsc, kLrscWait };
+
+[[nodiscard]] const char* toString(RmwFlavor f);
+
+/// Cycles of local computation between the load half and the store half of
+/// an LR/SC-style RMW (the add + branch of the paper's histogram kernel).
+inline constexpr sim::Cycle kRmwComputeCycles = 2;
+
+struct RmwResult {
+  Word old = 0;        ///< value observed before the modification
+  bool performed = true;  ///< false only when abandoned via `abandon`
+};
+
+/// Atomically add `delta` to *a and return the previous value.
+/// If `abandon` is non-null and becomes true, the loop may give up at a
+/// retry point *before* holding a grant (never between LRwait and SCwait,
+/// which would violate the pair constraint) and returns performed=false.
+sim::Co<RmwResult> fetchAdd(Core& core, RmwFlavor flavor, Addr a, Word delta,
+                            Backoff& backoff, const bool* abandon = nullptr);
+
+struct CasResult {
+  Word observed = 0;  ///< value seen (== expected iff swapped)
+  bool swapped = false;
+};
+
+/// Compare-and-swap via the reservation pair (not available for kAmo).
+/// Reservation-based, hence ABA-immune: an SC/SCwait fails on *any*
+/// intervening write, not on a value comparison.
+sim::Co<CasResult> compareAndSwap(Core& core, RmwFlavor flavor, Addr a,
+                                  Word expected, Word desired,
+                                  Backoff& backoff);
+
+}  // namespace colibri::sync

@@ -1,0 +1,48 @@
+#include "sync/barrier.hpp"
+
+namespace colibri::sync {
+
+CentralBarrier::CentralBarrier(arch::System& sys, std::uint32_t participants,
+                               WaitKind wait)
+    : counter_(sys.allocator().allocGlobal(1)),
+      sense_(sys.allocator().allocGlobal(1)),
+      participants_(participants),
+      waitKind_(wait) {
+  sys.poke(counter_, 0);
+  sys.poke(sense_, 0);
+}
+
+sim::Co<void> CentralBarrier::wait(Core& core, sim::Word& localSense,
+                                   Backoff& backoff) {
+  localSense ^= 1;
+  const auto arrived = co_await core.amoAdd(counter_, 1);
+  if (arrived.value + 1 == participants_) {
+    // Last arrival: reset the counter, then flip the sense. The counter
+    // reset is acked so that no straggler of the *next* round can overtake
+    // it on a different bank.
+    (void)co_await core.amoSwap(counter_, 0);
+    (void)co_await core.store(sense_, localSense);
+    co_return;
+  }
+  if (waitKind_ == WaitKind::kPoll) {
+    while (true) {
+      const auto s = co_await core.load(sense_);
+      if (s.value == localSense) {
+        co_return;
+      }
+      co_await core.delay(16);
+    }
+  }
+  while (true) {
+    const auto s = co_await core.mwait(sense_, localSense ^ 1);
+    if (s.ok && s.value == localSense) {
+      co_return;
+    }
+    if (!s.ok) {
+      co_await core.delay(backoff.next());
+    }
+    // Spurious wake: re-arm.
+  }
+}
+
+}  // namespace colibri::sync

@@ -1,0 +1,93 @@
+#include "sync/mcs.hpp"
+
+#include "sim/check.hpp"
+
+namespace colibri::sync {
+
+const char* toString(WaitKind w) {
+  return w == WaitKind::kPoll ? "poll" : "mwait";
+}
+
+McsNodes McsNodes::create(arch::System& sys) {
+  McsNodes n;
+  const auto cores = sys.numCores();
+  n.next.reserve(cores);
+  n.locked.reserve(cores);
+  for (sim::CoreId c = 0; c < cores; ++c) {
+    // Two words in the core's own tile: spinning/sleeping stays local.
+    auto words = sys.allocator().allocLocal(sys.topology().tileOfCore(c), 2);
+    n.next.push_back(words[0]);
+    n.locked.push_back(words[1]);
+    sys.poke(words[0], 0);
+    sys.poke(words[1], 0);
+  }
+  return n;
+}
+
+sim::Co<void> McsLock::waitForWrite(Core& core, Addr a, sim::Word sleepValue,
+                                    Backoff& backoff) {
+  // Wait until *a != sleepValue. kPoll busy-loads with a short pause;
+  // kMwait sleeps in the bank's reservation queue.
+  if (wait_ == WaitKind::kPoll) {
+    while (true) {
+      const auto v = co_await core.load(a);
+      if (v.value != sleepValue) {
+        co_return;
+      }
+      co_await core.delay(8);  // local-bank spin pacing
+    }
+  }
+  while (true) {
+    const auto r = co_await core.mwait(a, sleepValue);
+    if (r.ok && r.value != sleepValue) {
+      co_return;
+    }
+    if (!r.ok) {
+      // Monitor queue full: fall back to a paced retry.
+      co_await core.delay(backoff.next());
+      continue;
+    }
+    // Spurious wake (a write left the value equal): re-arm immediately.
+  }
+}
+
+sim::Co<void> McsLock::acquire(Core& core, Backoff& backoff) {
+  const sim::CoreId c = core.id();
+  const sim::Word self = c + 1;
+  // Node init must be globally visible before we enter the queue: acked
+  // stores (amoswap used as store-with-response) act as the fence.
+  (void)co_await core.amoSwap(nodes_.next[c], 0);
+  (void)co_await core.amoSwap(nodes_.locked[c], 1);
+
+  const auto prev = co_await core.amoSwap(tail_, self);
+  if (prev.value == 0) {
+    co_return;  // uncontended
+  }
+  // Link behind the predecessor, then wait for the hand-over write.
+  (void)co_await core.store(nodes_.next[prev.value - 1], self);
+  co_await waitForWrite(core, nodes_.locked[c], 1, backoff);
+}
+
+sim::Co<void> McsLock::release(Core& core, Backoff& backoff) {
+  const sim::CoreId c = core.id();
+  const sim::Word self = c + 1;
+
+  auto next = co_await core.load(nodes_.next[c]);
+  if (next.value == 0) {
+    // Nobody visible behind us: try to swing the tail back to free.
+    const auto cas =
+        co_await compareAndSwap(core, casFlavor_, tail_, self, 0, backoff);
+    if (cas.swapped) {
+      co_return;
+    }
+    // A successor is enqueueing: wait for it to link itself.
+    co_await waitForWrite(core, nodes_.next[c], 0, backoff);
+    next = co_await core.load(nodes_.next[c]);
+    COLIBRI_CHECK(next.value != 0);
+  }
+  // Hand the lock over.
+  (void)co_await core.store(nodes_.locked[next.value - 1], 0);
+  co_return;
+}
+
+}  // namespace colibri::sync

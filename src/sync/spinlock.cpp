@@ -1,0 +1,88 @@
+#include "sync/spinlock.hpp"
+
+#include "sim/check.hpp"
+
+namespace colibri::sync {
+
+const char* toString(SpinLockKind k) {
+  switch (k) {
+    case SpinLockKind::kAmoTas:
+      return "amo-tas";
+    case SpinLockKind::kLrscTas:
+      return "lrsc-tas";
+    case SpinLockKind::kLrwaitTas:
+      return "lrwait-tas";
+  }
+  return "?";
+}
+
+namespace {
+
+sim::Co<void> acquireAmoTas(Core& core, Addr lock, Backoff& backoff) {
+  while (true) {
+    const auto old = co_await core.amoSwap(lock, 1);
+    if (old.value == 0) {
+      co_return;
+    }
+    co_await core.delay(backoff.next());
+  }
+}
+
+sim::Co<void> acquireLrscTas(Core& core, Addr lock, Backoff& backoff) {
+  while (true) {
+    const auto lr = co_await core.lr(lock);
+    if (lr.value != 0) {
+      co_await core.delay(backoff.next());
+      continue;
+    }
+    const auto sc = co_await core.sc(lock, 1);
+    if (sc.ok) {
+      co_return;
+    }
+    co_await core.delay(backoff.next());
+  }
+}
+
+sim::Co<void> acquireLrwaitTas(Core& core, Addr lock, Backoff& backoff) {
+  while (true) {
+    const auto lr = co_await core.lrWait(lock);
+    if (!lr.ok) {
+      co_await core.delay(backoff.next());  // reservation queue full
+      continue;
+    }
+    if (lr.value == 0) {
+      const auto sc = co_await core.scWait(lock, 1);
+      if (sc.ok) {
+        co_return;
+      }
+      continue;  // a store interfered; re-enqueue
+    }
+    // Lock taken: write the value back unchanged to yield the queue (the
+    // mandatory SCwait after every LRwait), then back off and re-enqueue.
+    (void)co_await core.scWait(lock, lr.value);
+    co_await core.delay(backoff.next());
+  }
+}
+
+}  // namespace
+
+sim::Co<void> acquireLock(Core& core, SpinLockKind kind, Addr lock,
+                          Backoff& backoff) {
+  switch (kind) {
+    case SpinLockKind::kAmoTas:
+      return acquireAmoTas(core, lock, backoff);
+    case SpinLockKind::kLrscTas:
+      return acquireLrscTas(core, lock, backoff);
+    case SpinLockKind::kLrwaitTas:
+      return acquireLrwaitTas(core, lock, backoff);
+  }
+  COLIBRI_CHECK_MSG(false, "unknown lock kind");
+  return acquireAmoTas(core, lock, backoff);
+}
+
+sim::Co<void> releaseLock(Core& core, Addr lock) {
+  (void)co_await core.store(lock, 0);
+  co_return;
+}
+
+}  // namespace colibri::sync

@@ -1,0 +1,40 @@
+// Spin locks over the simulated atomics — the lock variants of Fig. 4.
+//
+//   kAmoTas    — test-and-set via amoswap      ("Atomic Add lock")
+//   kLrscTas   — test-and-set via LR/SC        ("LRSC lock")
+//   kLrwaitTas — test-and-set via LRwait/SCwait ("Colibri lock"): waiting
+//                cores sleep in the reservation queue instead of polling;
+//                on observing the lock taken, the SCwait writes the value
+//                back unchanged to yield the queue.
+//
+// All three use the paper's 128-cycle backoff by default. A lock is one
+// SPM word: 0 = free, 1 = taken.
+//
+// Memory-ordering note: the modeled cores post stores, and stores to
+// different banks complete out of order. A critical section must therefore
+// publish its last data write with an *acked* store (Core::amoSwap) before
+// the plain release store, mirroring the fence a real MemPool kernel needs.
+// releaseLock() itself is a plain store to the lock word.
+#pragma once
+
+#include <cstdint>
+
+#include "core/core.hpp"
+#include "sim/co.hpp"
+#include "sync/atomic.hpp"
+#include "sync/backoff.hpp"
+
+namespace colibri::sync {
+
+enum class SpinLockKind : std::uint8_t { kAmoTas, kLrscTas, kLrwaitTas };
+
+[[nodiscard]] const char* toString(SpinLockKind k);
+
+/// Acquire `lock` (blocking). `backoff` paces the retries.
+sim::Co<void> acquireLock(Core& core, SpinLockKind kind, Addr lock,
+                          Backoff& backoff);
+
+/// Release `lock` (posted store of 0). See the header note on ordering.
+sim::Co<void> releaseLock(Core& core, Addr lock);
+
+}  // namespace colibri::sync

@@ -1,0 +1,54 @@
+#include "workloads/harness.hpp"
+
+#include <algorithm>
+
+namespace colibri::workloads {
+
+SystemCounters snapshotCounters(arch::System& sys, Cycle windowCycles,
+                                std::uint32_t participants) {
+  SystemCounters s;
+  s.windowCycles = windowCycles;
+  s.activeCores = participants;
+  for (sim::CoreId c = 0; c < sys.numCores(); ++c) {
+    const auto& cs = sys.core(c).stats();
+    s.instructions += cs.totalIssued();
+    s.computeCycles += cs.computeCycles;
+    s.sleepCycles += cs.sleepCycles;
+    s.stallCycles += cs.stallCycles;
+  }
+  for (sim::BankId b = 0; b < sys.numBanks(); ++b) {
+    s.bankAccesses += sys.bank(b).stats().requests;
+  }
+  s.netMessages = sys.network().stats().messagesByDistance;
+  return s;
+}
+
+RateResult summarizeRates(const std::vector<std::uint64_t>& perCoreWindowOps,
+                          Cycle windowCycles, const SystemCounters& counters) {
+  RateResult r;
+  r.perCoreWindowOps = perCoreWindowOps;
+  r.counters = counters;
+  if (windowCycles == 0) {
+    return r;
+  }
+  std::uint64_t total = 0;
+  std::uint64_t lo = ~0ULL;
+  std::uint64_t hi = 0;
+  for (auto v : perCoreWindowOps) {
+    total += v;
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  if (perCoreWindowOps.empty()) {
+    lo = 0;
+  }
+  r.opsInWindow = total;
+  const double w = static_cast<double>(windowCycles);
+  r.opsPerCycle = static_cast<double>(total) / w;
+  r.perCoreMinRate = static_cast<double>(lo) / w;
+  r.perCoreMaxRate = static_cast<double>(hi) / w;
+  r.fairnessJain = sim::Summary::jainIndex(perCoreWindowOps);
+  return r;
+}
+
+}  // namespace colibri::workloads

@@ -1,0 +1,74 @@
+// Shared measurement scaffolding for workload runs.
+//
+// The paper reports steady-state rates over a measurement window. A run
+// proceeds as: spawn workers at cycle 0, let them warm up, reset counters,
+// measure until the horizon, flip the stop flag, then drain (workers
+// finish their current operation — an LRwait must still be closed by its
+// SCwait — and exit, which also drains every reservation queue).
+//
+// One workload run per System instance: suspended coroutine frames and
+// adapter reservation state are not recycled across workloads.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "arch/system.hpp"
+#include "sim/stats.hpp"
+#include "sim/types.hpp"
+
+namespace colibri::workloads {
+
+using sim::Cycle;
+
+struct MeasureWindow {
+  Cycle warmup = 3000;
+  Cycle measure = 30000;
+
+  [[nodiscard]] Cycle horizon() const { return warmup + measure; }
+};
+
+/// Aggregated hardware event counters over the measurement window —
+/// everything the energy model (Table II) needs.
+struct SystemCounters {
+  std::uint64_t instructions = 0;  ///< issued ops incl. retries
+  std::uint64_t computeCycles = 0;
+  std::uint64_t sleepCycles = 0;  ///< cores asleep in LRwait/Mwait
+  std::uint64_t stallCycles = 0;
+  std::uint64_t bankAccesses = 0;
+  std::array<std::uint64_t, 3> netMessages{};  ///< by Distance
+  Cycle windowCycles = 0;
+  std::uint32_t activeCores = 0;
+
+  /// Busy core-cycles = window * cores - sleep (a sleeping core burns
+  /// almost nothing; everything else is pipeline-active or stalled).
+  [[nodiscard]] std::uint64_t busyCoreCycles() const {
+    const std::uint64_t total =
+        static_cast<std::uint64_t>(windowCycles) * activeCores;
+    return total > sleepCycles ? total - sleepCycles : 0;
+  }
+};
+
+/// Snapshot the window counters from a system whose stats were reset at
+/// the window start. `participants` = cores that ran during the window.
+[[nodiscard]] SystemCounters snapshotCounters(arch::System& sys,
+                                              Cycle windowCycles,
+                                              std::uint32_t participants);
+
+/// Per-core completion counts → rate + fairness numbers for the figures.
+struct RateResult {
+  double opsPerCycle = 0.0;
+  std::uint64_t opsInWindow = 0;
+  std::vector<std::uint64_t> perCoreWindowOps;
+  double fairnessJain = 1.0;
+  double perCoreMinRate = 0.0;  ///< slowest core, ops/cycle (Fig. 6 band)
+  double perCoreMaxRate = 0.0;  ///< fastest core, ops/cycle
+  SystemCounters counters;
+};
+
+[[nodiscard]] RateResult summarizeRates(
+    const std::vector<std::uint64_t>& perCoreWindowOps, Cycle windowCycles,
+    const SystemCounters& counters);
+
+}  // namespace colibri::workloads

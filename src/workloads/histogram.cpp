@@ -1,0 +1,221 @@
+#include "workloads/histogram.hpp"
+
+#include <memory>
+#include <numeric>
+
+#include "sim/check.hpp"
+#include "sim/random.hpp"
+#include "sync/atomic.hpp"
+#include "sync/mcs.hpp"
+#include "sync/spinlock.hpp"
+
+namespace colibri::workloads {
+
+const char* toString(HistogramMode m) {
+  switch (m) {
+    case HistogramMode::kAmoAdd:
+      return "amo-add";
+    case HistogramMode::kLrsc:
+      return "lrsc";
+    case HistogramMode::kLrscWait:
+      return "lrscwait";
+    case HistogramMode::kAmoLock:
+      return "amo-lock";
+    case HistogramMode::kLrscLock:
+      return "lrsc-lock";
+    case HistogramMode::kLrwaitLock:
+      return "lrwait-lock";
+    case HistogramMode::kMcsMwaitLock:
+      return "mwait-mcs-lock";
+    case HistogramMode::kMcsPollLock:
+      return "poll-mcs-lock";
+  }
+  return "?";
+}
+
+bool needsWaitSupport(HistogramMode m) {
+  return m == HistogramMode::kLrscWait || m == HistogramMode::kLrwaitLock ||
+         m == HistogramMode::kMcsMwaitLock;
+}
+
+namespace {
+
+/// Shared state of one histogram run. Lives on the runHistogram stack;
+/// worker frames reference it and are guaranteed to be resumed only while
+/// the run is active (one workload per System).
+struct HistCtx {
+  HistogramParams params;
+  sim::Addr binsBase = 0;
+  std::vector<sim::Addr> locks;          // lock word per bin (lock modes)
+  std::vector<sim::Addr> mcsTails;       // MCS tail word per bin
+  std::unique_ptr<sync::McsNodes> mcs;   // MCS node words (MCS modes)
+  sync::RmwFlavor casFlavor = sync::RmwFlavor::kLrsc;
+  bool stop = false;
+  sim::Cycle windowStart = 0;
+  sim::Cycle windowEnd = 0;
+  std::vector<std::uint64_t> perCoreTotal;
+  std::vector<std::uint64_t> perCoreWindow;
+};
+
+sim::Task histWorker(arch::System& sys, arch::Core& core, HistCtx& ctx) {
+  auto rng = sim::Xoshiro256::forStream(sys.config().seed, core.id());
+  sync::Backoff backoff(ctx.params.backoff, rng);
+  const auto mode = ctx.params.mode;
+
+  while (!ctx.stop) {
+    co_await core.delay(ctx.params.iterDelay);
+    const std::uint32_t bin =
+        static_cast<std::uint32_t>(rng.below(ctx.params.bins));
+    const sim::Addr binAddr = ctx.binsBase + bin;
+
+    bool performed = false;
+    switch (mode) {
+      case HistogramMode::kAmoAdd:
+      case HistogramMode::kLrsc:
+      case HistogramMode::kLrscWait: {
+        const auto flavor = mode == HistogramMode::kAmoAdd
+                                ? sync::RmwFlavor::kAmo
+                                : (mode == HistogramMode::kLrsc
+                                       ? sync::RmwFlavor::kLrsc
+                                       : sync::RmwFlavor::kLrscWait);
+        const auto r = co_await sync::fetchAdd(core, flavor, binAddr, 1,
+                                               backoff, &ctx.stop);
+        performed = r.performed;
+        break;
+      }
+      case HistogramMode::kAmoLock:
+      case HistogramMode::kLrscLock:
+      case HistogramMode::kLrwaitLock: {
+        const auto kind = mode == HistogramMode::kAmoLock
+                              ? sync::SpinLockKind::kAmoTas
+                              : (mode == HistogramMode::kLrscLock
+                                     ? sync::SpinLockKind::kLrscTas
+                                     : sync::SpinLockKind::kLrwaitTas);
+        co_await sync::acquireLock(core, kind, ctx.locks[bin], backoff);
+        const auto v = co_await core.load(binAddr);
+        co_await core.delay(ctx.params.csDelay);
+        // Acked store: the bin update must commit before the release store
+        // can be observed (see spinlock.hpp on ordering).
+        (void)co_await core.amoSwap(binAddr, v.value + 1);
+        co_await sync::releaseLock(core, ctx.locks[bin]);
+        performed = true;
+        break;
+      }
+      case HistogramMode::kMcsMwaitLock:
+      case HistogramMode::kMcsPollLock: {
+        const auto wait = mode == HistogramMode::kMcsMwaitLock
+                              ? sync::WaitKind::kMwait
+                              : sync::WaitKind::kPoll;
+        sync::McsLock lock(ctx.mcsTails[bin], *ctx.mcs, ctx.casFlavor, wait);
+        co_await lock.acquire(core, backoff);
+        const auto v = co_await core.load(binAddr);
+        co_await core.delay(ctx.params.csDelay);
+        (void)co_await core.amoSwap(binAddr, v.value + 1);
+        co_await lock.release(core, backoff);
+        performed = true;
+        break;
+      }
+    }
+    if (performed) {
+      ++ctx.perCoreTotal[core.id()];
+      const auto now = sys.now();
+      if (now >= ctx.windowStart && now < ctx.windowEnd) {
+        ++ctx.perCoreWindow[core.id()];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+HistogramResult runHistogram(arch::System& sys, const HistogramParams& p) {
+  COLIBRI_CHECK(p.bins >= 1);
+  const auto adapter = sys.config().adapter;
+  if (needsWaitSupport(p.mode)) {
+    COLIBRI_CHECK_MSG(adapter == arch::AdapterKind::kLrscWait ||
+                          adapter == arch::AdapterKind::kColibri,
+                      "mode " << toString(p.mode)
+                              << " needs a wait-capable adapter");
+  }
+
+  HistCtx ctx;
+  ctx.params = p;
+  ctx.binsBase = sys.allocator().allocGlobal(p.bins);
+  for (std::uint32_t i = 0; i < p.bins; ++i) {
+    sys.poke(ctx.binsBase + i, 0);
+  }
+
+  const bool lockMode = p.mode == HistogramMode::kAmoLock ||
+                        p.mode == HistogramMode::kLrscLock ||
+                        p.mode == HistogramMode::kLrwaitLock;
+  const bool mcsMode = p.mode == HistogramMode::kMcsMwaitLock ||
+                       p.mode == HistogramMode::kMcsPollLock;
+  if (lockMode) {
+    const sim::Addr base = sys.allocator().allocGlobal(p.bins);
+    for (std::uint32_t i = 0; i < p.bins; ++i) {
+      ctx.locks.push_back(base + i);
+      sys.poke(base + i, 0);
+    }
+  }
+  if (mcsMode) {
+    const sim::Addr base = sys.allocator().allocGlobal(p.bins);
+    for (std::uint32_t i = 0; i < p.bins; ++i) {
+      ctx.mcsTails.push_back(base + i);
+      sys.poke(base + i, 0);
+    }
+    ctx.mcs = std::make_unique<sync::McsNodes>(sync::McsNodes::create(sys));
+    ctx.casFlavor = adapter == arch::AdapterKind::kColibri ||
+                            adapter == arch::AdapterKind::kLrscWait
+                        ? sync::RmwFlavor::kLrscWait
+                        : sync::RmwFlavor::kLrsc;
+  }
+
+  std::vector<sim::CoreId> cores = p.cores;
+  if (cores.empty()) {
+    cores.resize(sys.numCores());
+    std::iota(cores.begin(), cores.end(), 0);
+  }
+  ctx.perCoreTotal.assign(sys.numCores(), 0);
+  ctx.perCoreWindow.assign(sys.numCores(), 0);
+  ctx.windowStart = p.window.warmup;
+  ctx.windowEnd = p.window.horizon();
+
+  for (const auto c : cores) {
+    sys.spawn(c, histWorker(sys, sys.core(c), ctx));
+  }
+  sys.at(ctx.windowStart, [&sys] { sys.resetStats(); });
+  sys.at(ctx.windowEnd, [&ctx] { ctx.stop = true; });
+
+  sys.runUntil(ctx.windowEnd);
+  const auto counters =
+      snapshotCounters(sys, p.window.measure,
+                       static_cast<std::uint32_t>(cores.size()));
+  sys.run();  // drain: workers close their pairs and exit
+  sys.rethrowFailures();
+  COLIBRI_CHECK_MSG(sys.allTasksDone(), "histogram workers failed to drain");
+
+  HistogramResult res;
+  res.drainCycles = sys.now() - ctx.windowEnd;
+  res.totalUpdates =
+      std::accumulate(ctx.perCoreTotal.begin(), ctx.perCoreTotal.end(),
+                      std::uint64_t{0});
+  std::uint64_t sum = 0;
+  for (std::uint32_t i = 0; i < p.bins; ++i) {
+    sum += sys.peek(ctx.binsBase + i);
+  }
+  res.sumVerified = sum == res.totalUpdates;
+  COLIBRI_CHECK_MSG(res.sumVerified, "histogram sum mismatch: bins="
+                                         << sum << " updates="
+                                         << res.totalUpdates << " mode="
+                                         << toString(p.mode));
+
+  std::vector<std::uint64_t> windowOps;
+  windowOps.reserve(cores.size());
+  for (const auto c : cores) {
+    windowOps.push_back(ctx.perCoreWindow[c]);
+  }
+  res.rate = summarizeRates(windowOps, p.window.measure, counters);
+  return res;
+}
+
+}  // namespace colibri::workloads

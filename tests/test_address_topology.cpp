@@ -1,0 +1,123 @@
+// Address map, allocator and topology unit tests.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "arch/address.hpp"
+#include "arch/topology.hpp"
+
+namespace colibri::arch {
+namespace {
+
+SystemConfig cfg() { return SystemConfig::smallTest(); }  // 16 cores, 16 banks
+
+TEST(AddressMap, WordInterleavingAcrossBanks) {
+  AddressMap m(cfg());
+  // Consecutive words land in consecutive banks.
+  for (sim::Addr a = 0; a < 64; ++a) {
+    EXPECT_EQ(m.bankOf(a), a % 16);
+    EXPECT_EQ(m.offsetOf(a), a / 16);
+  }
+}
+
+TEST(AddressMap, ComposeInvertsDecompose) {
+  AddressMap m(cfg());
+  for (sim::BankId b = 0; b < 16; ++b) {
+    for (std::uint64_t off = 0; off < 8; ++off) {
+      const sim::Addr a = m.compose(b, off);
+      EXPECT_EQ(m.bankOf(a), b);
+      EXPECT_EQ(m.offsetOf(a), off);
+    }
+  }
+}
+
+TEST(AddressMap, TileOfBankMatchesGeometry) {
+  AddressMap m(cfg());  // 4 banks per tile
+  EXPECT_EQ(m.tileOfBank(0), 0u);
+  EXPECT_EQ(m.tileOfBank(3), 0u);
+  EXPECT_EQ(m.tileOfBank(4), 1u);
+  EXPECT_EQ(m.tileOfBank(15), 3u);
+}
+
+TEST(Allocator, GlobalRegionsDoNotOverlap) {
+  Allocator alloc(cfg());
+  const auto a = alloc.allocGlobal(10);
+  const auto b = alloc.allocGlobal(10);
+  EXPECT_GE(b, a + 10);
+}
+
+TEST(Allocator, LocalWordsLiveInTheRequestedTile) {
+  Allocator alloc(cfg());
+  for (sim::TileId t = 0; t < 4; ++t) {
+    for (const auto a : alloc.allocLocal(t, 9)) {
+      EXPECT_EQ(alloc.map().tileOf(a), t);
+    }
+  }
+}
+
+TEST(Allocator, LocalThenGlobalNeverCollide) {
+  Allocator alloc(cfg());
+  std::set<sim::Addr> seen;
+  for (const auto a : alloc.allocLocal(2, 5)) {
+    EXPECT_TRUE(seen.insert(a).second);
+  }
+  const auto base = alloc.allocGlobal(40);
+  for (sim::Addr a = base; a < base + 40; ++a) {
+    EXPECT_TRUE(seen.insert(a).second) << "collision at " << a;
+  }
+  for (const auto a : alloc.allocLocal(0, 5)) {
+    EXPECT_TRUE(seen.insert(a).second) << "collision at " << a;
+  }
+}
+
+TEST(Allocator, ExhaustionThrows) {
+  auto c = cfg();  // 16 banks * 64 words = 1024 words
+  Allocator alloc(c);
+  (void)alloc.allocGlobal(1024);
+  EXPECT_THROW((void)alloc.allocGlobal(1), sim::InvariantViolation);
+}
+
+TEST(Allocator, BankExhaustionThrows) {
+  Allocator alloc(cfg());
+  for (int i = 0; i < 64; ++i) {
+    (void)alloc.allocInBank(0);
+  }
+  EXPECT_THROW((void)alloc.allocInBank(0), sim::InvariantViolation);
+}
+
+TEST(Topology, DistanceClasses) {
+  Topology t(cfg());  // 4 cores/tile, 2 tiles/group, 4 banks/tile
+  // Core 0 lives in tile 0, group 0.
+  EXPECT_EQ(t.coreToBank(0, 0), Distance::kLocalTile);
+  EXPECT_EQ(t.coreToBank(0, 3), Distance::kLocalTile);
+  EXPECT_EQ(t.coreToBank(0, 4), Distance::kSameGroup);   // tile 1, group 0
+  EXPECT_EQ(t.coreToBank(0, 8), Distance::kRemoteGroup);  // tile 2, group 1
+  EXPECT_EQ(t.coreToBank(0, 15), Distance::kRemoteGroup);
+}
+
+TEST(Topology, GroupMembership) {
+  Topology t(cfg());
+  EXPECT_EQ(t.groupOfCore(0), 0u);
+  EXPECT_EQ(t.groupOfCore(7), 0u);   // tile 1
+  EXPECT_EQ(t.groupOfCore(8), 1u);   // tile 2
+  EXPECT_EQ(t.groupOfCore(15), 1u);  // tile 3
+}
+
+TEST(Config, MemPoolGeometryMatchesPaper) {
+  const auto c = SystemConfig::memPool();
+  EXPECT_EQ(c.numCores, 256u);
+  EXPECT_EQ(c.numTiles(), 64u);
+  EXPECT_EQ(c.numGroups(), 4u);
+  EXPECT_EQ(c.numBanks(), 1024u);
+  // 1 MiB of L1: 1024 banks * 256 words * 4 B.
+  EXPECT_EQ(c.numWords() * 4, 1u << 20);
+}
+
+TEST(Config, ValidateRejectsBadGeometry) {
+  auto c = cfg();
+  c.numCores = 10;  // not divisible by coresPerTile=4
+  EXPECT_THROW(c.validate(), sim::InvariantViolation);
+}
+
+}  // namespace
+}  // namespace colibri::arch

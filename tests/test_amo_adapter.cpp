@@ -1,0 +1,84 @@
+// AMO adapter + applyAmo unit tests.
+#include <gtest/gtest.h>
+
+#include "atomics/amo.hpp"
+#include "mock_bank.hpp"
+
+namespace colibri::test {
+namespace {
+
+using atomics::OpKind;
+
+TEST(ApplyAmo, AllOperations) {
+  using arch::applyAmo;
+  EXPECT_EQ(applyAmo(OpKind::kAmoAdd, 5, 3), 8u);
+  EXPECT_EQ(applyAmo(OpKind::kAmoSwap, 5, 3), 3u);
+  EXPECT_EQ(applyAmo(OpKind::kAmoAnd, 0b1100, 0b1010), 0b1000u);
+  EXPECT_EQ(applyAmo(OpKind::kAmoOr, 0b1100, 0b1010), 0b1110u);
+  EXPECT_EQ(applyAmo(OpKind::kAmoXor, 0b1100, 0b1010), 0b0110u);
+  EXPECT_EQ(applyAmo(OpKind::kAmoMax, 5, 3), 5u);
+  EXPECT_EQ(applyAmo(OpKind::kAmoMin, 5, 3), 3u);
+}
+
+TEST(ApplyAmo, MinMaxAreSigned) {
+  using arch::applyAmo;
+  const sim::Word minusOne = 0xFFFFFFFF;
+  EXPECT_EQ(applyAmo(OpKind::kAmoMax, minusOne, 1), 1u);
+  EXPECT_EQ(applyAmo(OpKind::kAmoMin, minusOne, 1), minusOne);
+}
+
+TEST(ApplyAmo, AddWrapsModulo32) {
+  EXPECT_EQ(arch::applyAmo(OpKind::kAmoAdd, 0xFFFFFFFF, 1), 0u);
+}
+
+TEST(AmoAdapter, LoadReturnsStoredValue) {
+  MockBank bank;
+  atomics::AmoAdapter a(bank);
+  a.handle(store(4, 77, /*core=*/1));
+  a.handle(load(4, 2));
+  const auto r = bank.take();
+  EXPECT_EQ(r.core, 2u);
+  EXPECT_EQ(r.resp.value, 77u);
+}
+
+TEST(AmoAdapter, StoreIsPosted) {
+  MockBank bank;
+  atomics::AmoAdapter a(bank);
+  a.handle(store(4, 1, 0));
+  EXPECT_TRUE(bank.responses.empty());
+  EXPECT_EQ(bank.read(4), 1u);
+}
+
+TEST(AmoAdapter, AmoReturnsOldValueAndCommitsNew) {
+  MockBank bank;
+  atomics::AmoAdapter a(bank);
+  a.handle(store(9, 10, 0));
+  a.handle(req(OpKind::kAmoAdd, 9, 5, 3));
+  EXPECT_EQ(bank.take().resp.value, 10u);
+  EXPECT_EQ(bank.read(9), 15u);
+  a.handle(req(OpKind::kAmoSwap, 9, 2, 3));
+  EXPECT_EQ(bank.take().resp.value, 15u);
+  EXPECT_EQ(bank.read(9), 2u);
+}
+
+TEST(AmoAdapter, RejectsReservedOps) {
+  MockBank bank;
+  atomics::AmoAdapter a(bank);
+  EXPECT_THROW(a.handle(lr(0, 0)), sim::InvariantViolation);
+  EXPECT_THROW(a.handle(lrwait(0, 0)), sim::InvariantViolation);
+  EXPECT_THROW(a.handle(mwait(0, 0, 0)), sim::InvariantViolation);
+}
+
+TEST(AmoAdapter, CountsEvents) {
+  MockBank bank;
+  atomics::AmoAdapter a(bank);
+  a.handle(load(0, 0));
+  a.handle(store(0, 1, 0));
+  a.handle(req(OpKind::kAmoAdd, 0, 1, 0));
+  EXPECT_EQ(a.stats().loads, 1u);
+  EXPECT_EQ(a.stats().stores, 1u);
+  EXPECT_EQ(a.stats().amos, 1u);
+}
+
+}  // namespace
+}  // namespace colibri::test

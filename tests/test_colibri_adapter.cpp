@@ -1,0 +1,237 @@
+// Colibri controller protocol tests (paper Section IV): slot allocation,
+// SuccessorUpdate emission, queue advance via WakeUpRequest, Mwait drains,
+// and the message races discussed in Section IV-A.
+#include <gtest/gtest.h>
+
+#include "atomics/colibri.hpp"
+#include "mock_bank.hpp"
+
+namespace colibri::test {
+namespace {
+
+using atomics::ColibriAdapter;
+using SlotState = ColibriAdapter::SlotState;
+
+TEST(Colibri, FirstLrwaitAllocatesSlotAndGrants) {
+  MockBank bank;
+  ColibriAdapter a(bank, 4);
+  bank.writeRaw(3, 17);
+  a.handle(lrwait(3, 0));
+  const auto r = bank.take();
+  EXPECT_TRUE(r.resp.ok);
+  EXPECT_EQ(r.resp.value, 17u);
+  EXPECT_EQ(a.freeSlots(), 3u);
+  ASSERT_TRUE(a.grantedCore(3).has_value());
+  EXPECT_EQ(*a.grantedCore(3), 0u);
+}
+
+TEST(Colibri, SecondLrwaitAppendsAndSendsSuccessorUpdate) {
+  MockBank bank;
+  ColibriAdapter a(bank, 4);
+  a.handle(lrwait(3, 0));
+  bank.responses.clear();
+  a.handle(lrwait(3, 1));
+  EXPECT_TRUE(bank.responses.empty());  // withheld
+  ASSERT_EQ(bank.updates.size(), 1u);
+  EXPECT_EQ(bank.updates[0].target, 0u);     // previous tail
+  EXPECT_EQ(bank.updates[0].successor, 1u);  // new tail
+  EXPECT_FALSE(bank.updates[0].successorIsMwait);
+}
+
+TEST(Colibri, ThirdLrwaitUpdatesTheNewTail) {
+  MockBank bank;
+  ColibriAdapter a(bank, 4);
+  a.handle(lrwait(3, 0));
+  a.handle(lrwait(3, 1));
+  a.handle(lrwait(3, 2));
+  ASSERT_EQ(bank.updates.size(), 2u);
+  EXPECT_EQ(bank.updates[1].target, 1u);
+  EXPECT_EQ(bank.updates[1].successor, 2u);
+}
+
+TEST(Colibri, SoleScwaitFreesSlotAndReportsLast) {
+  MockBank bank;
+  ColibriAdapter a(bank, 4);
+  a.handle(lrwait(3, 0));
+  bank.responses.clear();
+  a.handle(scwait(3, 9, 0));
+  const auto r = bank.take();
+  EXPECT_TRUE(r.resp.ok);
+  EXPECT_TRUE(r.resp.lastInQueue);
+  EXPECT_EQ(bank.read(3), 9u);
+  EXPECT_EQ(a.freeSlots(), 4u);
+}
+
+TEST(Colibri, ScwaitWithSuccessorAwaitsWakeUp) {
+  MockBank bank;
+  ColibriAdapter a(bank, 4);
+  a.handle(lrwait(3, 0));
+  a.handle(lrwait(3, 1));
+  bank.responses.clear();
+  a.handle(scwait(3, 9, 0));
+  const auto r = bank.take();
+  EXPECT_TRUE(r.resp.ok);
+  EXPECT_FALSE(r.resp.lastInQueue);  // core 1 is behind us
+  EXPECT_TRUE(bank.responses.empty());
+  EXPECT_EQ(a.slots()[0].state, SlotState::kAwaitingWakeUp);
+
+  a.handle(wakeup(3, /*successor=*/1, false, 0));
+  const auto grant = bank.take();
+  EXPECT_EQ(grant.core, 1u);
+  EXPECT_TRUE(grant.resp.ok);
+  EXPECT_EQ(grant.resp.value, 9u);
+  EXPECT_EQ(*a.grantedCore(3), 1u);
+}
+
+TEST(Colibri, SlotExhaustionFailsImmediately) {
+  MockBank bank;
+  ColibriAdapter a(bank, 2);
+  a.handle(lrwait(3, 0));
+  a.handle(lrwait(4, 1));
+  bank.responses.clear();
+  a.handle(lrwait(5, 2));  // no free head/tail pair
+  const auto r = bank.take();
+  EXPECT_FALSE(r.resp.ok);
+  EXPECT_EQ(a.stats().lrFails, 1u);
+  // Queuing on an *existing* address still works.
+  a.handle(lrwait(3, 2));
+  EXPECT_EQ(bank.updates.size(), 1u);
+}
+
+TEST(Colibri, StoreInvalidatesReservationScwaitFails) {
+  MockBank bank;
+  ColibriAdapter a(bank, 4);
+  bank.writeRaw(3, 1);
+  a.handle(lrwait(3, 0));
+  bank.responses.clear();
+  a.handle(store(3, 50, 7));
+  a.handle(scwait(3, 2, 0));
+  const auto r = bank.take();
+  EXPECT_FALSE(r.resp.ok);
+  EXPECT_EQ(bank.read(3), 50u);  // failed SCwait did not overwrite
+  EXPECT_EQ(a.freeSlots(), 4u);  // queue still advanced (freed)
+}
+
+TEST(Colibri, FailedScwaitStillAdvancesQueue) {
+  MockBank bank;
+  ColibriAdapter a(bank, 4);
+  a.handle(lrwait(3, 0));
+  a.handle(lrwait(3, 1));
+  bank.responses.clear();
+  a.handle(store(3, 50, 7));
+  a.handle(scwait(3, 2, 0));
+  EXPECT_FALSE(bank.take().resp.ok);
+  a.handle(wakeup(3, 1, false, 0));
+  const auto grant = bank.take();
+  EXPECT_EQ(grant.core, 1u);
+  EXPECT_EQ(grant.resp.value, 50u);  // sees the interfering store's value
+}
+
+TEST(Colibri, MwaitImmediateOnDifferentValue) {
+  MockBank bank;
+  ColibriAdapter a(bank, 4);
+  bank.writeRaw(3, 9);
+  a.handle(mwait(3, /*expected=*/5, 0));
+  const auto r = bank.take();
+  EXPECT_TRUE(r.resp.ok);
+  EXPECT_TRUE(r.resp.lastInQueue);
+  EXPECT_EQ(r.resp.value, 9u);
+  EXPECT_EQ(a.freeSlots(), 4u);  // no slot consumed
+}
+
+TEST(Colibri, MwaitMonitorsAndWakesOnWrite) {
+  MockBank bank;
+  ColibriAdapter a(bank, 4);
+  bank.writeRaw(3, 5);
+  a.handle(mwait(3, 5, 0));
+  EXPECT_TRUE(bank.responses.empty());
+  EXPECT_EQ(a.slots()[0].state, SlotState::kMwaitMonitoring);
+  a.handle(store(3, 6, 1));
+  const auto r = bank.take();
+  EXPECT_EQ(r.core, 0u);
+  EXPECT_EQ(r.resp.value, 6u);
+  EXPECT_TRUE(r.resp.lastInQueue);
+  EXPECT_EQ(a.freeSlots(), 4u);  // sole waiter: slot freed at wake
+}
+
+TEST(Colibri, MwaitQueueDrainsThroughWakeUps) {
+  MockBank bank;
+  ColibriAdapter a(bank, 4);
+  bank.writeRaw(3, 5);
+  a.handle(mwait(3, 5, 0));
+  a.handle(mwait(3, 5, 1));  // appended; SuccessorUpdate to core 0
+  ASSERT_EQ(bank.updates.size(), 1u);
+  EXPECT_TRUE(bank.updates[0].successorIsMwait);
+
+  a.handle(store(3, 6, 7));
+  auto r = bank.take();  // head woken
+  EXPECT_EQ(r.core, 0u);
+  EXPECT_FALSE(r.resp.lastInQueue);
+  EXPECT_EQ(a.slots()[0].state, SlotState::kAwaitingWakeUp);
+
+  // Core 0's Qnode bounces the wake-up for its successor.
+  a.handle(wakeup(3, 1, /*succIsMwait=*/true, 0));
+  r = bank.take();
+  EXPECT_EQ(r.core, 1u);
+  EXPECT_TRUE(r.resp.lastInQueue);
+  EXPECT_EQ(r.resp.value, 6u);
+  EXPECT_EQ(a.freeSlots(), 4u);  // fully drained
+}
+
+TEST(Colibri, MixedQueueLrwaitBehindMwait) {
+  MockBank bank;
+  ColibriAdapter a(bank, 4);
+  bank.writeRaw(3, 5);
+  a.handle(mwait(3, 5, 0));
+  a.handle(lrwait(3, 1));  // waits behind the monitoring Mwait
+  bank.responses.clear();
+  a.handle(store(3, 6, 7));
+  EXPECT_EQ(bank.take().core, 0u);  // Mwait head woken
+  a.handle(wakeup(3, 1, /*succIsMwait=*/false, 0));
+  const auto grant = bank.take();  // LRwait served as the new head
+  EXPECT_EQ(grant.core, 1u);
+  EXPECT_EQ(*a.grantedCore(3), 1u);
+}
+
+TEST(Colibri, WakeUpWithoutPendingAdvanceTripsInvariant) {
+  MockBank bank;
+  ColibriAdapter a(bank, 4);
+  a.handle(lrwait(3, 0));
+  EXPECT_THROW(a.handle(wakeup(3, 1, false, 0)), sim::InvariantViolation);
+}
+
+TEST(Colibri, ScwaitFromNonHeadTripsInvariant) {
+  MockBank bank;
+  ColibriAdapter a(bank, 4);
+  a.handle(lrwait(3, 0));
+  a.handle(lrwait(3, 1));
+  EXPECT_THROW(a.handle(scwait(3, 1, 1)), sim::InvariantViolation);
+}
+
+TEST(Colibri, IndependentAddressesUseIndependentSlots) {
+  MockBank bank;
+  ColibriAdapter a(bank, 4);
+  a.handle(lrwait(3, 0));
+  a.handle(lrwait(4, 1));
+  EXPECT_EQ(bank.responses.size(), 2u);  // both granted concurrently
+  EXPECT_EQ(a.freeSlots(), 2u);
+  EXPECT_EQ(*a.grantedCore(3), 0u);
+  EXPECT_EQ(*a.grantedCore(4), 1u);
+}
+
+TEST(Colibri, CountsProtocolMessages) {
+  MockBank bank;
+  ColibriAdapter a(bank, 4);
+  a.handle(lrwait(3, 0));
+  a.handle(lrwait(3, 1));
+  a.handle(scwait(3, 1, 0));
+  a.handle(wakeup(3, 1, false, 0));
+  a.handle(scwait(3, 2, 1));
+  EXPECT_EQ(a.stats().successorUpdates, 1u);
+  EXPECT_EQ(a.stats().wakeUpRequests, 1u);
+  EXPECT_EQ(a.stats().lrGrants, 2u);
+  EXPECT_EQ(a.stats().scSuccesses, 2u);
+}
+
+}  // namespace
+}  // namespace colibri::test

@@ -1,0 +1,181 @@
+// Area model (Table I), energy model (Table II) and report printer tests.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "model/area.hpp"
+#include "model/energy.hpp"
+#include "report/table.hpp"
+
+namespace colibri {
+namespace {
+
+using arch::SystemConfig;
+
+TEST(AreaModel, MatchesPaperAnchorsWithinTenPercent) {
+  const auto rows = model::tableOne();
+  for (const auto& row : rows) {
+    if (row.paperKge == 0.0) {
+      continue;  // no anchor (LRSCwait_ideal)
+    }
+    EXPECT_NEAR(row.areaKge, row.paperKge, row.paperKge * 0.10)
+        << row.architecture << " (" << row.parameters << ")";
+  }
+}
+
+TEST(AreaModel, LrscWaitGrowsLinearlyInQueueSlots) {
+  const auto cfg = SystemConfig::memPool();
+  const double a1 = model::lrscWaitTileArea(cfg, 1);
+  const double a2 = model::lrscWaitTileArea(cfg, 2);
+  const double a4 = model::lrscWaitTileArea(cfg, 4);
+  EXPECT_NEAR(a4 - a2, 2.0 * (a2 - a1), 1e-9);
+}
+
+TEST(AreaModel, IdealLrscWaitIsInfeasiblyLarge) {
+  const auto cfg = SystemConfig::memPool();
+  const double ideal = model::lrscWaitTileArea(cfg, cfg.numCores);
+  const double base = model::AreaParams{}.baseTileKge;
+  // >4x the tile: the paper calls this "physically infeasible".
+  EXPECT_GT(ideal, 4.0 * base);
+}
+
+TEST(AreaModel, ColibriOverheadIsSmall) {
+  const auto cfg = SystemConfig::memPool();
+  const double base = model::AreaParams{}.baseTileKge;
+  // The paper's headline: ~6% overhead for the 1-address configuration.
+  const double overhead = model::colibriTileArea(cfg, 1) / base - 1.0;
+  EXPECT_GT(overhead, 0.04);
+  EXPECT_LT(overhead, 0.08);
+}
+
+TEST(AreaModel, SystemScalingLinearVsQuadratic) {
+  // Scale the machine 1x..4x and compare overhead growth: LRSCwait_ideal
+  // (q = cores) grows ~quadratically, Colibri linearly.
+  auto cfgAt = [](std::uint32_t mult) {
+    auto c = SystemConfig::memPool();
+    c.numCores *= mult;  // tiles scale with cores (same tile shape)
+    return c;
+  };
+  const double colibri1 = model::systemOverheadKge(cfgAt(1), true, 4);
+  const double colibri4 = model::systemOverheadKge(cfgAt(4), true, 4);
+  EXPECT_NEAR(colibri4 / colibri1, 4.0, 0.3);
+
+  const double ideal1 =
+      model::systemOverheadKge(cfgAt(1), false, cfgAt(1).numCores);
+  const double ideal4 =
+      model::systemOverheadKge(cfgAt(4), false, cfgAt(4).numCores);
+  EXPECT_GT(ideal4 / ideal1, 10.0);  // super-linear (≈16x for pure n^2 term)
+}
+
+TEST(EnergyModel, BreakdownSumsToTotal) {
+  workloads::SystemCounters c;
+  c.windowCycles = 1000;
+  c.activeCores = 4;
+  c.sleepCycles = 1000;
+  c.computeCycles = 800;
+  c.stallCycles = 300;
+  c.instructions = 500;
+  c.bankAccesses = 400;
+  c.netMessages = {100, 50, 25};
+  const auto e = model::chargeEnergy(c);
+  EXPECT_NEAR(e.totalPj(), e.instructionPj + e.bankPj + e.networkPj +
+                               e.computePj + e.stallPj + e.sleepPj,
+              1e-9);
+  EXPECT_GT(e.totalPj(), 0.0);
+}
+
+TEST(EnergyModel, SleepingIsCheaperThanSpinning) {
+  // The same wait spent asleep (Mwait) vs. spinning in a pacing loop.
+  workloads::SystemCounters spinning;
+  spinning.windowCycles = 1000;
+  spinning.activeCores = 1;
+  spinning.computeCycles = 900;
+  workloads::SystemCounters asleep;
+  asleep.windowCycles = 1000;
+  asleep.activeCores = 1;
+  asleep.sleepCycles = 900;
+  EXPECT_LT(model::chargeEnergy(asleep).totalPj(),
+            0.2 * model::chargeEnergy(spinning).totalPj());
+}
+
+TEST(EnergyModel, PerOpDividesByOps) {
+  workloads::SystemCounters c;
+  c.windowCycles = 100;
+  c.activeCores = 1;
+  c.instructions = 100;
+  const double e1 = model::energyPerOp(c, 10);
+  const double e2 = model::energyPerOp(c, 20);
+  EXPECT_NEAR(e1, 2.0 * e2, 1e-9);
+  EXPECT_EQ(model::energyPerOp(c, 0), 0.0);
+}
+
+TEST(EnergyModel, DynamicPowerScalesWithFrequency) {
+  workloads::SystemCounters c;
+  c.windowCycles = 1000;
+  c.activeCores = 4;
+  c.instructions = 100;
+  model::EnergyParams slow;
+  slow.mhz = 300.0;
+  slow.idlePowerMw = 0.0;  // isolate the dynamic part
+  model::EnergyParams fast = slow;
+  fast.mhz = 600.0;
+  EXPECT_NEAR(model::averagePowerMw(c, fast),
+              2.0 * model::averagePowerMw(c, slow), 1e-9);
+  // With the background floor, power sits above it.
+  EXPECT_GT(model::averagePowerMw(c), model::EnergyParams{}.idlePowerMw);
+}
+
+TEST(EnergyModel, RetryHeavyRunCostsMore) {
+  // Same completed ops; the LR/SC-style run has 30x the instructions and
+  // bank traffic (retries) and no sleep: per-op energy must be far higher.
+  workloads::SystemCounters colibri;
+  colibri.windowCycles = 1000;
+  colibri.activeCores = 16;
+  colibri.sleepCycles = 12000;
+  colibri.instructions = 2000;
+  colibri.bankAccesses = 2000;
+  colibri.netMessages = {0, 2000, 2000};
+
+  workloads::SystemCounters lrsc = colibri;
+  lrsc.sleepCycles = 0;
+  lrsc.instructions = 60000;
+  lrsc.bankAccesses = 60000;
+  lrsc.netMessages = {0, 60000, 60000};
+
+  EXPECT_GT(model::energyPerOp(lrsc, 1000),
+            4.0 * model::energyPerOp(colibri, 1000));
+}
+
+TEST(Report, TableAlignsAndCounts) {
+  report::Table t({"name", "value"});
+  t.addRow({"alpha", "1.5"}).addRow({"b", "22.25"});
+  EXPECT_EQ(t.rows(), 2u);
+  std::ostringstream os;
+  t.print(os);
+  const auto s = os.str();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22.25"), std::string::npos);
+  EXPECT_NE(s.find("-----"), std::string::npos);
+}
+
+TEST(Report, CsvEmission) {
+  report::Table t({"a", "b"});
+  t.addRow({"1", "2"});
+  std::ostringstream os;
+  t.printCsv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Report, MismatchedRowThrows) {
+  report::Table t({"a", "b"});
+  EXPECT_THROW(t.addRow({"only-one"}), sim::InvariantViolation);
+}
+
+TEST(Report, Formatters) {
+  EXPECT_EQ(report::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(report::fmtSpeedup(6.5), "6.50x");
+  EXPECT_EQ(report::fmtPercent(16.4), "16.4%");
+}
+
+}  // namespace
+}  // namespace colibri

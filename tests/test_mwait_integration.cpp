@@ -1,0 +1,182 @@
+// End-to-end Mwait semantics through the full system (network + banks +
+// Qnodes): wake-on-write, expected-value shortcut, queue drains, and the
+// interaction with LRwait on the same address. Runs on both wait-capable
+// adapters.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "arch/system.hpp"
+#include "test_util.hpp"
+
+namespace colibri::arch {
+namespace {
+
+SystemConfig withAdapter(AdapterKind k) {
+  auto c = SystemConfig::smallTest();
+  c.adapter = k;
+  return c;
+}
+
+class MwaitAdapters : public ::testing::TestWithParam<AdapterKind> {};
+
+sim::Task waiter(System& sys, Core& core, sim::Addr a, sim::Word expected,
+                 std::vector<std::pair<sim::CoreId, sim::Word>>& wakes) {
+  const auto r = co_await core.mwait(a, expected);
+  EXPECT_TRUE(r.ok);
+  wakes.emplace_back(core.id(), r.value);
+  (void)sys;
+}
+
+sim::Task writerAt(System& sys, Core& core, sim::Addr a, sim::Word v,
+                   sim::Cycle when) {
+  co_await core.delay(when - sys.now());
+  (void)co_await core.store(a, v);
+}
+
+TEST_P(MwaitAdapters, WakesOnWriteWithNewValue) {
+  System sys(withAdapter(GetParam()));
+  const auto a = sys.allocator().allocGlobal(1);
+  sys.poke(a, 5);
+  std::vector<std::pair<sim::CoreId, sim::Word>> wakes;
+  sys.spawn(0, waiter(sys, sys.core(0), a, 5, wakes));
+  sys.spawn(1, writerAt(sys, sys.core(1), a, 42, 50));
+  sys.run();
+  sys.rethrowFailures();
+  ASSERT_EQ(wakes.size(), 1u);
+  EXPECT_EQ(wakes[0].second, 42u);
+  // The waiter slept from its Mwait until the write arrived (~50 cycles).
+  EXPECT_GT(sys.core(0).stats().sleepCycles, 30u);
+}
+
+TEST_P(MwaitAdapters, ImmediateWhenValueAlreadyDiffers) {
+  System sys(withAdapter(GetParam()));
+  const auto a = sys.allocator().allocGlobal(1);
+  sys.poke(a, 7);  // expected will be 5: already changed
+  std::vector<std::pair<sim::CoreId, sim::Word>> wakes;
+  sys.spawn(0, waiter(sys, sys.core(0), a, 5, wakes));
+  sys.run();
+  sys.rethrowFailures();
+  ASSERT_EQ(wakes.size(), 1u);
+  EXPECT_EQ(wakes[0].second, 7u);
+  EXPECT_LT(sys.core(0).stats().sleepCycles, 10u);  // no real sleep
+}
+
+TEST_P(MwaitAdapters, OneWriteDrainsTheWholeWaitQueue) {
+  System sys(withAdapter(GetParam()));
+  const auto a = sys.allocator().allocGlobal(1);
+  sys.poke(a, 0);
+  std::vector<std::pair<sim::CoreId, sim::Word>> wakes;
+  for (sim::CoreId c = 0; c < 8; ++c) {
+    sys.spawn(c, waiter(sys, sys.core(c), a, 0, wakes));
+  }
+  sys.spawn(8, writerAt(sys, sys.core(8), a, 9, 100));
+  sys.run();
+  sys.rethrowFailures();
+  EXPECT_TRUE(sys.allTasksDone());
+  EXPECT_EQ(wakes.size(), 8u);  // everyone woken by the single store
+  for (const auto& [core, value] : wakes) {
+    EXPECT_EQ(value, 9u);
+  }
+}
+
+TEST_P(MwaitAdapters, UnrelatedWriteDoesNotWake) {
+  System sys(withAdapter(GetParam()));
+  const auto a = sys.allocator().allocGlobal(1);
+  const auto b = sys.allocator().allocGlobal(1);
+  std::vector<std::pair<sim::CoreId, sim::Word>> wakes;
+  sys.spawn(0, waiter(sys, sys.core(0), a, 0, wakes));
+  sys.spawn(1, writerAt(sys, sys.core(1), b, 1, 40));
+  sys.run();  // ends with core 0 still asleep (no event left)
+  sys.rethrowFailures();
+  EXPECT_TRUE(wakes.empty());
+  EXPECT_FALSE(sys.allTasksDone());  // the waiter is legitimately asleep
+}
+
+sim::Task rmwThenSignal(System& sys, Core& core, sim::Addr a) {
+  (void)sys;
+  const auto r = co_await core.lrWait(a);
+  EXPECT_TRUE(r.ok);
+  co_await core.delay(10);
+  (void)co_await core.scWait(a, r.value + 1);
+}
+
+TEST_P(MwaitAdapters, ScwaitCommitWakesMwaiters) {
+  // An SCwait is a write: Mwait waiters on the same address must be woken
+  // by it (this is how Mwait-based notification composes with LRSCwait).
+  System sys(withAdapter(GetParam()));
+  const auto a = sys.allocator().allocGlobal(1);
+  sys.poke(a, 3);
+  std::vector<std::pair<sim::CoreId, sim::Word>> wakes;
+  sys.spawn(0, rmwThenSignal(sys, sys.core(0), a));
+  sys.spawn(1, waiter(sys, sys.core(1), a, 3, wakes));
+  sys.run();
+  sys.rethrowFailures();
+  EXPECT_TRUE(sys.allTasksDone());
+  ASSERT_EQ(wakes.size(), 1u);
+  EXPECT_EQ(wakes[0].second, 4u);  // the SCwait's value
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, MwaitAdapters,
+                         ::testing::Values(AdapterKind::kLrscWait,
+                                           AdapterKind::kColibri),
+                         [](const auto& info) {
+                           return colibri::test::paramName(
+                               toString(info.param));
+                         });
+
+// Colibri-specific: the Mwait drain is a cascade of Qnode WakeUpRequests,
+// so wake order must follow enqueue order (FIFO fairness for monitors).
+TEST(MwaitColibri, DrainOrderIsFifo) {
+  System sys(withAdapter(AdapterKind::kColibri));
+  const auto a = sys.allocator().allocGlobal(1);
+  std::vector<std::pair<sim::CoreId, sim::Word>> wakes;
+  // Stagger enqueues so arrival order is deterministic: core c at cycle
+  // 10*c (far apart relative to network latency).
+  auto staggered = [&wakes](System& s, Core& core, sim::Addr addr,
+                            sim::Cycle at) -> sim::Task {
+    co_await core.delay(at);
+    const auto r = co_await core.mwait(addr, 0);
+    EXPECT_TRUE(r.ok);
+    wakes.emplace_back(core.id(), r.value);
+    (void)s;
+  };
+  for (sim::CoreId c = 0; c < 6; ++c) {
+    sys.spawn(c, staggered(sys, sys.core(c), a, 10 * c));
+  }
+  sys.spawn(6, writerAt(sys, sys.core(6), a, 1, 200));
+  sys.run();
+  sys.rethrowFailures();
+  ASSERT_EQ(wakes.size(), 6u);
+  for (sim::CoreId c = 0; c < 6; ++c) {
+    EXPECT_EQ(wakes[c].first, c) << "drain order broke FIFO";
+  }
+}
+
+TEST(MwaitColibri, SlotExhaustionFailsAdmission) {
+  auto cfg = withAdapter(AdapterKind::kColibri);
+  cfg.colibriQueuesPerController = 1;
+  System sys(cfg);
+  // Two different addresses in the SAME bank: the second Mwait finds no
+  // free head/tail pair and must be rejected (ok = false).
+  const auto a = sys.allocator().allocInBank(0);
+  const auto b = sys.allocator().allocInBank(0);
+  bool rejected = false;
+  auto probe = [&rejected](System&, Core& core, sim::Addr addr,
+                           sim::Cycle at) -> sim::Task {
+    co_await core.delay(at);
+    const auto r = co_await core.mwait(addr, 0);
+    if (!r.ok) {
+      rejected = true;
+    }
+  };
+  sys.spawn(0, probe(sys, sys.core(0), a, 0));
+  sys.spawn(1, probe(sys, sys.core(1), b, 20));
+  sys.run();
+  sys.rethrowFailures();
+  EXPECT_TRUE(rejected);
+}
+
+}  // namespace
+}  // namespace colibri::arch

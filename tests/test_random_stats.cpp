@@ -1,0 +1,124 @@
+// RNG and statistics unit tests.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/stats.hpp"
+
+namespace colibri::sim {
+namespace {
+
+TEST(Xoshiro, DeterministicForSameSeed) {
+  Xoshiro256 a(42);
+  Xoshiro256 b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Xoshiro, StreamsDiffer) {
+  auto a = Xoshiro256::forStream(7, 0);
+  auto b = Xoshiro256::forStream(7, 1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += a() == b() ? 1 : 0;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Xoshiro, BelowStaysInRange) {
+  Xoshiro256 rng(123);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+  EXPECT_EQ(rng.below(1), 0u);
+  EXPECT_EQ(rng.below(0), 0u);
+}
+
+TEST(Xoshiro, BelowCoversAllValues) {
+  Xoshiro256 rng(5);
+  std::array<int, 8> seen{};
+  for (int i = 0; i < 4000; ++i) {
+    seen[rng.below(8)]++;
+  }
+  for (int v : seen) {
+    EXPECT_GT(v, 300);  // each bucket near 500
+  }
+}
+
+TEST(Xoshiro, Uniform01InUnitInterval) {
+  Xoshiro256 rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform01();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(WindowedCounter, SplitsAtWindow) {
+  WindowedCounter c;
+  c.setWindow(100, 200);
+  c.record(50);
+  c.record(100);
+  c.record(150, 3);
+  c.record(199);
+  c.record(200);
+  EXPECT_EQ(c.total(), 7u);
+  EXPECT_EQ(c.inWindow(), 5u);
+  EXPECT_DOUBLE_EQ(c.rate(1000), 5.0 / 100.0);
+}
+
+TEST(WindowedCounter, RateClampsToSimEnd) {
+  WindowedCounter c;
+  c.setWindow(0, 1000);
+  c.record(10, 50);
+  EXPECT_DOUBLE_EQ(c.rate(100), 0.5);
+}
+
+TEST(Summary, BasicMoments) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  const auto s = Summary::of(xs);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_NEAR(s.stddev, 1.4142, 1e-3);
+}
+
+TEST(Summary, EvenCountMedianAverages) {
+  const std::vector<double> xs{1, 2, 3, 10};
+  EXPECT_DOUBLE_EQ(Summary::of(xs).median, 2.5);
+}
+
+TEST(Summary, EmptyIsZeros) {
+  const auto s = Summary::of({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Summary, JainIndexFairVsUnfair) {
+  const std::vector<std::uint64_t> fair{10, 10, 10, 10};
+  const std::vector<std::uint64_t> unfair{40, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(Summary::jainIndex(fair), 1.0);
+  EXPECT_DOUBLE_EQ(Summary::jainIndex(unfair), 0.25);
+}
+
+TEST(Accumulator, TracksMoments) {
+  Accumulator a;
+  for (double x : {2.0, 4.0, 6.0}) {
+    a.add(x);
+  }
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 6.0);
+  EXPECT_NEAR(a.stddev(), 1.633, 1e-3);
+}
+
+}  // namespace
+}  // namespace colibri::sim

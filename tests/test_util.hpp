@@ -1,0 +1,21 @@
+// Shared test helpers.
+#pragma once
+
+#include <cctype>
+#include <string>
+#include <string_view>
+
+namespace colibri::test {
+
+/// gtest parameterized-test names must be [A-Za-z0-9_]; our enum toString
+/// values use dashes. Sanitize.
+inline std::string paramName(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    out.push_back(std::isalnum(static_cast<unsigned char>(c)) ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace colibri::test
