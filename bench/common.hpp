@@ -6,6 +6,7 @@
 // across std::async workers (each point owns a fresh System).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <iostream>

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Regenerate the Fig. 3 sweep through the colibri-sim CLI.
+
+The figure benches are hardcoded per-figure; this script shows the
+composable path: one colibri-sim invocation per (adapter, bins) point,
+merged into a single CSV on stdout. Stdlib only.
+
+Usage:
+  python3 scripts/sweep_fig3.py [--sim build/colibri-sim] [--cores 256]
+          [--bins 1,2,4,...] [--adapters colibri,lrsc_single,...]
+"""
+
+import argparse
+import csv
+import io
+import subprocess
+import sys
+
+DEFAULT_BINS = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024]
+DEFAULT_ADAPTERS = ["amo", "lrscwait_ideal", "lrscwait", "colibri",
+                    "lrsc_single"]
+
+
+def run_point(sim, adapter, bins, cores, extra):
+    cmd = [sim, "--adapter", adapter, "--workload", "histogram",
+           "--cores", str(cores), "--bins", str(bins), "--csv"] + extra
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    # rc 1 = the run finished but failed self-verification; it still
+    # prints its CSV row (verified=NO), which is exactly what we want to
+    # record. Only treat runs with no parseable row as failed.
+    rows = list(csv.DictReader(io.StringIO(proc.stdout)))
+    if not rows:
+        sys.stderr.write(f"FAILED (rc={proc.returncode}): {' '.join(cmd)}\n"
+                         f"{proc.stderr}")
+        return None
+    return rows[0]
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--sim", default="build/colibri-sim")
+    ap.add_argument("--cores", type=int, default=256)
+    ap.add_argument("--bins", default=",".join(map(str, DEFAULT_BINS)))
+    ap.add_argument("--adapters", default=",".join(DEFAULT_ADAPTERS))
+    ap.add_argument("--extra", default="",
+                    help="extra colibri-sim flags, space-separated")
+    args = ap.parse_args()
+
+    bins = [int(b) for b in args.bins.split(",") if b]
+    adapters = [a for a in args.adapters.split(",") if a]
+    extra = args.extra.split() if args.extra else []
+
+    writer = csv.writer(sys.stdout)
+    writer.writerow(["adapter", "bins", "ops_per_cycle", "jain", "verified"])
+    failures = 0
+    for adapter in adapters:
+        for b in bins:
+            row = run_point(args.sim, adapter, b, args.cores, extra)
+            if row is None:
+                failures += 1
+                continue
+            writer.writerow([adapter, b, row["ops/cycle"], row["jain"],
+                             row["verified"]])
+            sys.stdout.flush()
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,7 @@
 // event can touch a dead frame.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>

@@ -1,0 +1,327 @@
+#include "cli/driver.hpp"
+
+#include <exception>
+#include <numeric>
+#include <ostream>
+
+#include "arch/system.hpp"
+#include "report/table.hpp"
+#include "sim/check.hpp"
+#include "workloads/histogram.hpp"
+#include "workloads/matmul.hpp"
+#include "workloads/msqueue.hpp"
+#include "workloads/prodcons.hpp"
+
+namespace colibri::cli {
+namespace {
+
+workloads::MeasureWindow windowOf(const Options& opts) {
+  return workloads::MeasureWindow{opts.warmup, opts.measure};
+}
+
+/// The histogram RMW flavor each adapter actually implements.
+workloads::HistogramMode histogramModeFor(const AdapterSpec& adapter) {
+  if (adapter.waitCapable) {
+    return workloads::HistogramMode::kLrscWait;
+  }
+  if (adapter.kind == arch::AdapterKind::kAmoOnly) {
+    return workloads::HistogramMode::kAmoAdd;
+  }
+  return workloads::HistogramMode::kLrsc;
+}
+
+/// The queue variant each adapter runs for the msqueue workload.
+workloads::QueueVariant queueVariantFor(const AdapterSpec& adapter) {
+  if (adapter.waitCapable) {
+    return workloads::QueueVariant::kLrscWait;
+  }
+  if (adapter.kind == arch::AdapterKind::kAmoOnly) {
+    return workloads::QueueVariant::kLock;
+  }
+  return workloads::QueueVariant::kLrsc;
+}
+
+void emit(const report::Table& table, std::ostream& out, bool csv) {
+  if (csv) {
+    table.printCsv(out);
+  } else {
+    table.print(out);
+  }
+}
+
+/// In CSV mode the output must stay machine-clean: no banner line.
+void maybeBanner(std::ostream& out, const Options& opts,
+                 const std::string& title) {
+  if (!opts.csv) {
+    report::banner(out, title);
+  }
+}
+
+double sleepFraction(const workloads::SystemCounters& c) {
+  const double total =
+      static_cast<double>(c.windowCycles) * static_cast<double>(c.activeCores);
+  return total > 0.0 ? static_cast<double>(c.sleepCycles) / total : 0.0;
+}
+
+std::vector<std::string> rateHeaders() {
+  return {"adapter", "workload",  "cores",   "ops/cycle",
+          "ops",     "jain",      "sleep%",  "verified"};
+}
+
+std::vector<std::string> rateRow(const Options& opts,
+                                 const workloads::RateResult& rate,
+                                 bool verified) {
+  return {opts.adapter,
+          opts.workload,
+          std::to_string(opts.cores),
+          report::fmt(rate.opsPerCycle, 4),
+          std::to_string(rate.opsInWindow),
+          report::fmt(rate.fairnessJain, 3),
+          report::fmtPercent(100.0 * sleepFraction(rate.counters)),
+          verified ? "yes" : "NO"};
+}
+
+int runHistogram(const Options& opts, const AdapterSpec& adapter,
+                 const arch::SystemConfig& cfg, std::ostream& out) {
+  workloads::HistogramParams p;
+  p.bins = opts.bins;
+  p.mode = histogramModeFor(adapter);
+  p.window = windowOf(opts);
+  p.backoff = sync::BackoffPolicy::fixed(opts.backoffCycles);
+  arch::System sys(cfg);
+  const auto r = workloads::runHistogram(sys, p);
+
+  maybeBanner(out, opts, "colibri-sim: histogram (" +
+                              std::string(workloads::toString(p.mode)) +
+                              ", " + std::to_string(opts.bins) +
+                              " bins) on " + opts.adapter);
+  auto headers = rateHeaders();
+  headers.insert(headers.begin() + 3, "bins");
+  auto row = rateRow(opts, r.rate, r.sumVerified);
+  row.insert(row.begin() + 3, std::to_string(opts.bins));
+  report::Table table(headers);
+  table.addRow(row);
+  emit(table, out, opts.csv);
+  return r.sumVerified ? 0 : 1;
+}
+
+int runQueue(const Options& opts, const AdapterSpec& adapter,
+             const arch::SystemConfig& cfg, std::ostream& out) {
+  workloads::QueueParams p;
+  p.variant = opts.workload == "ticket_queue"
+                  ? workloads::QueueVariant::kLock
+                  : queueVariantFor(adapter);
+  p.capacity = opts.queueCapacity;
+  p.window = windowOf(opts);
+  p.backoff = sync::BackoffPolicy::fixed(opts.backoffCycles);
+  arch::System sys(cfg);
+  const auto r = workloads::runQueue(sys, p);
+
+  maybeBanner(out, opts, "colibri-sim: " + opts.workload + " (" +
+                              std::string(workloads::toString(p.variant)) +
+                              ") on " + opts.adapter);
+  report::Table table(rateHeaders());
+  table.addRow(rateRow(opts, r.rate, r.fifoVerified));
+  emit(table, out, opts.csv);
+  return r.fifoVerified ? 0 : 1;
+}
+
+int runProdCons(const Options& opts, const AdapterSpec& adapter,
+                const arch::SystemConfig& cfg, std::ostream& out,
+                std::ostream& err) {
+  if (opts.producers + opts.consumers > opts.cores) {
+    err << "colibri-sim: --producers + --consumers (" << opts.producers
+        << " + " << opts.consumers << ") exceeds --cores (" << opts.cores
+        << ")\n";
+    return 2;
+  }
+  workloads::ProdConsParams p;
+  p.producers = opts.producers;
+  p.consumers = opts.consumers;
+  p.useMwait = adapter.waitCapable;
+  p.window = windowOf(opts);
+  p.backoff = sync::BackoffPolicy::fixed(opts.backoffCycles);
+  arch::System sys(cfg);
+  const auto r = workloads::runProdCons(sys, p);
+
+  maybeBanner(out, opts, "colibri-sim: prodcons (" +
+                              std::string(p.useMwait ? "Mwait" : "polling") +
+                              " consumers) on " + opts.adapter);
+  report::Table table({"adapter", "producers", "consumers", "items/cycle",
+                       "items", "sleep%", "reqs/item", "verified"});
+  table.addRow({opts.adapter, std::to_string(opts.producers),
+                std::to_string(opts.consumers),
+                report::fmt(r.itemsPerCycle, 4),
+                std::to_string(r.itemsConsumed),
+                report::fmtPercent(100.0 * r.consumerSleepFraction),
+                report::fmt(r.consumerRequestsPerItem, 2),
+                r.allItemsSeen ? "yes" : "NO"});
+  emit(table, out, opts.csv);
+  return r.allItemsSeen ? 0 : 1;
+}
+
+int runMatmul(const Options& opts, const arch::SystemConfig& cfg,
+              std::ostream& out) {
+  workloads::MatmulParams p;
+  p.n = opts.matmulN;
+  p.workers.resize(opts.cores);
+  std::iota(p.workers.begin(), p.workers.end(), 0);
+  arch::System sys(cfg);
+  const auto r = workloads::runMatmul(sys, p);
+
+  maybeBanner(out, opts,
+              "colibri-sim: matmul (n=" + std::to_string(opts.matmulN) +
+                  ") on " + opts.adapter);
+  report::Table table(
+      {"adapter", "workers", "n", "cycles", "macs", "macs/cycle", "verified"});
+  table.addRow({opts.adapter, std::to_string(opts.cores),
+                std::to_string(opts.matmulN), std::to_string(r.duration),
+                std::to_string(r.macs),
+                report::fmt(r.duration > 0
+                                ? static_cast<double>(r.macs) /
+                                      static_cast<double>(r.duration)
+                                : 0.0,
+                            2),
+                r.verified ? "yes" : "NO"});
+  emit(table, out, opts.csv);
+  return r.verified ? 0 : 1;
+}
+
+}  // namespace
+
+std::optional<std::string> buildConfig(const Options& opts,
+                                       const AdapterSpec& adapter,
+                                       arch::SystemConfig& cfg) {
+  cfg = arch::SystemConfig{};
+  cfg.numCores = opts.cores;
+  cfg.coresPerTile = opts.coresPerTile;
+  cfg.tilesPerGroup = opts.tilesPerGroup;
+  cfg.banksPerTile = opts.banksPerTile;
+  cfg.wordsPerBank = opts.wordsPerBank;
+  cfg.adapter = adapter.kind;
+  cfg.colibriQueuesPerController = opts.colibriQueues;
+  cfg.seed = opts.seed;
+  const std::uint32_t capacity =
+      (adapter.idealCapacity || opts.waitCapacity == 0) ? opts.cores
+                                                        : opts.waitCapacity;
+  cfg.lrscWaitQueueCapacity = capacity;
+
+  if (opts.cores == 0 || opts.coresPerTile == 0 || opts.tilesPerGroup == 0 ||
+      opts.banksPerTile == 0 || opts.wordsPerBank == 0) {
+    return "geometry values must be >= 1";
+  }
+  if (opts.cores % opts.coresPerTile != 0) {
+    return "--cores (" + std::to_string(opts.cores) +
+           ") must be a multiple of --cores-per-tile (" +
+           std::to_string(opts.coresPerTile) + ")";
+  }
+  if (cfg.numTiles() % opts.tilesPerGroup != 0) {
+    return "tile count (" + std::to_string(cfg.numTiles()) +
+           ") must be a multiple of --tiles-per-group (" +
+           std::to_string(opts.tilesPerGroup) + ")";
+  }
+  return std::nullopt;
+}
+
+void printScenarios(std::ostream& os, bool csv) {
+  report::Table table({"adapter", "workload", "supported", "description"});
+  for (const auto& s : allScenarios()) {
+    table.addRow({s.adapter.name, s.workload.name,
+                  s.supported ? "yes" : "no",
+                  s.adapter.description + " | " + s.workload.description});
+  }
+  if (csv) {
+    table.printCsv(os);
+  } else {
+    report::banner(os, "colibri-sim scenarios (adapter x workload)");
+    table.print(os);
+  }
+}
+
+int runScenario(const Options& opts, std::ostream& out, std::ostream& err) {
+  const auto adapter = findAdapter(opts.adapter);
+  if (!adapter) {
+    err << "colibri-sim: unknown adapter '" << opts.adapter
+        << "' (choose from: " << adapterNameList() << ")\n";
+    return 2;
+  }
+  const auto workload = findWorkload(opts.workload);
+  if (!workload) {
+    err << "colibri-sim: unknown workload '" << opts.workload
+        << "' (choose from: " << workloadNameList() << ")\n";
+    return 2;
+  }
+  const auto scenario = findScenario(opts.adapter, opts.workload);
+  if (scenario && !scenario->supported) {
+    err << "colibri-sim: scenario " << opts.adapter << " x " << opts.workload
+        << " is not runnable (" << scenario->whyUnsupported << "); see "
+           "--list\n";
+    return 2;
+  }
+
+  arch::SystemConfig cfg;
+  if (const auto geomError = buildConfig(opts, *adapter, cfg)) {
+    err << "colibri-sim: " << *geomError << "\n";
+    return 2;
+  }
+
+  // Friendly flag errors for knobs the workloads would otherwise reject
+  // with a raw invariant trace.
+  if (opts.workload == "histogram" && opts.bins == 0) {
+    err << "colibri-sim: --bins must be >= 1\n";
+    return 2;
+  }
+  if (opts.workload == "matmul" && opts.matmulN == 0) {
+    err << "colibri-sim: --matmul-n must be >= 1\n";
+    return 2;
+  }
+  if (opts.workload == "prodcons" &&
+      (opts.producers == 0 || opts.consumers == 0)) {
+    err << "colibri-sim: --producers and --consumers must be >= 1\n";
+    return 2;
+  }
+
+  try {
+    if (opts.workload == "histogram") {
+      return runHistogram(opts, *adapter, cfg, out);
+    }
+    if (opts.workload == "msqueue" || opts.workload == "ticket_queue") {
+      return runQueue(opts, *adapter, cfg, out);
+    }
+    if (opts.workload == "prodcons") {
+      return runProdCons(opts, *adapter, cfg, out, err);
+    }
+    if (opts.workload == "matmul") {
+      return runMatmul(opts, cfg, out);
+    }
+  } catch (const sim::InvariantViolation& e) {
+    err << "colibri-sim: simulation invariant violated: " << e.what() << "\n";
+    return 1;
+  } catch (const std::exception& e) {
+    err << "colibri-sim: error: " << e.what() << "\n";
+    return 1;
+  }
+  err << "colibri-sim: workload '" << opts.workload
+      << "' is registered but has no runner (internal error)\n";
+  return 1;
+}
+
+int runMain(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err) {
+  const auto parsed = parseArgs(args);
+  if (!parsed.ok()) {
+    err << "colibri-sim: " << *parsed.error << "\n";
+    return 2;
+  }
+  if (parsed.options.help) {
+    printUsage(out);
+    return 0;
+  }
+  if (parsed.options.listScenarios) {
+    printScenarios(out, parsed.options.csv);
+    return 0;
+  }
+  return runScenario(parsed.options, out, err);
+}
+
+}  // namespace colibri::cli

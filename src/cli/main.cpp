@@ -1,0 +1,12 @@
+// colibri-sim entry point. All logic lives in cli::runMain so the tests
+// can drive the driver in-process.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/driver.hpp"
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  return colibri::cli::runMain(args, std::cout, std::cerr);
+}

@@ -1,0 +1,165 @@
+#include "cli/options.hpp"
+
+#include <charconv>
+#include <functional>
+#include <map>
+#include <ostream>
+
+namespace colibri::cli {
+namespace {
+
+template <typename T>
+bool parseNumber(const std::string& text, T& out) {
+  const char* first = text.data();
+  const char* last = first + text.size();
+  auto [ptr, ec] = std::from_chars(first, last, out);
+  return ec == std::errc{} && ptr == last;
+}
+
+struct Flag {
+  const char* help;
+  bool takesValue;
+  std::function<bool(Options&, const std::string&)> apply;
+};
+
+template <typename T>
+Flag numberFlag(const char* help, T Options::* member) {
+  return Flag{help, true, [member](Options& o, const std::string& v) {
+                return parseNumber(v, o.*member);
+              }};
+}
+
+Flag stringFlag(const char* help, std::string Options::* member) {
+  return Flag{help, true, [member](Options& o, const std::string& v) {
+                o.*member = v;
+                return true;
+              }};
+}
+
+Flag boolFlag(const char* help, bool Options::* member) {
+  return Flag{help, false, [member](Options& o, const std::string&) {
+                o.*member = true;
+                return true;
+              }};
+}
+
+const std::map<std::string, Flag>& flagTable() {
+  static const std::map<std::string, Flag> table = {
+      {"--adapter", stringFlag("atomic adapter: amo | lrsc_single | "
+                               "lrsc_table | lrscwait | lrscwait_ideal | "
+                               "colibri",
+                               &Options::adapter)},
+      {"--workload", stringFlag("workload: histogram | msqueue | prodcons | "
+                                "matmul | ticket_queue",
+                                &Options::workload)},
+      {"--cores", numberFlag("total cores (default 256)", &Options::cores)},
+      {"--cores-per-tile",
+       numberFlag("cores per tile (default 4)", &Options::coresPerTile)},
+      {"--tiles-per-group",
+       numberFlag("tiles per group (default 16)", &Options::tilesPerGroup)},
+      {"--banks-per-tile",
+       numberFlag("SPM banks per tile (default 16)", &Options::banksPerTile)},
+      {"--words-per-bank",
+       numberFlag("words per bank (default 256)", &Options::wordsPerBank)},
+      {"--wait-capacity",
+       numberFlag("LRSCwait_q queue capacity; 0 = one slot per core",
+                  &Options::waitCapacity)},
+      {"--colibri-queues",
+       numberFlag("Colibri queue slots per controller (default 4)",
+                  &Options::colibriQueues)},
+      {"--warmup",
+       numberFlag("warmup cycles before the window (default 2000)",
+                  &Options::warmup)},
+      {"--measure",
+       numberFlag("measurement-window cycles (default 20000)",
+                  &Options::measure)},
+      {"--bins",
+       numberFlag("histogram bins / contention level (default 16)",
+                  &Options::bins)},
+      {"--backoff",
+       numberFlag("fixed retry backoff in cycles (default 128)",
+                  &Options::backoffCycles)},
+      {"--producers",
+       numberFlag("prodcons producer cores (default 8)", &Options::producers)},
+      {"--consumers",
+       numberFlag("prodcons consumer cores (default 8)", &Options::consumers)},
+      {"--queue-capacity",
+       numberFlag("queue slots; 0 = 2 * cores", &Options::queueCapacity)},
+      {"--matmul-n",
+       numberFlag("matmul square dimension (default 32)", &Options::matmulN)},
+      {"--seed", numberFlag("RNG seed", &Options::seed)},
+      {"--csv", boolFlag("emit CSV instead of an aligned table",
+                         &Options::csv)},
+      {"--list", boolFlag("list every adapter x workload scenario and exit",
+                          &Options::listScenarios)},
+      {"--help", boolFlag("show this help", &Options::help)},
+  };
+  return table;
+}
+
+}  // namespace
+
+ParseResult parseArgs(const std::vector<std::string>& args) {
+  ParseResult result;
+  const auto& table = flagTable();
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    std::string name = arg;
+    std::optional<std::string> inlineValue;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      inlineValue = arg.substr(eq + 1);
+    }
+    const auto it = table.find(name);
+    if (it == table.end()) {
+      result.error = "unknown flag '" + name +
+                     "' — run 'colibri-sim --help' for the flag list";
+      return result;
+    }
+    const Flag& flag = it->second;
+    std::string value;
+    if (flag.takesValue) {
+      if (inlineValue) {
+        value = *inlineValue;
+      } else if (i + 1 < args.size()) {
+        value = args[++i];
+      } else {
+        result.error = "flag '" + name +
+                       "' needs a value — run 'colibri-sim --help' for usage";
+        return result;
+      }
+    } else if (inlineValue) {
+      result.error = "flag '" + name + "' takes no value";
+      return result;
+    }
+    if (!flag.apply(result.options, value)) {
+      result.error = "invalid value '" + value + "' for flag '" + name +
+                     "' — run 'colibri-sim --help' for usage";
+      return result;
+    }
+  }
+  return result;
+}
+
+void printUsage(std::ostream& os) {
+  os << "colibri-sim — unified driver over every adapter x workload x "
+        "geometry scenario\n\n"
+        "usage: colibri-sim [--adapter A] [--workload W] [flags...]\n\n"
+        "flags:\n";
+  for (const auto& [name, flag] : flagTable()) {
+    os << "  " << name;
+    for (std::size_t pad = name.size(); pad < 20; ++pad) {
+      os << ' ';
+    }
+    os << flag.help << '\n';
+  }
+  os << "\nexamples:\n"
+        "  colibri-sim --adapter colibri --workload histogram --cores 256\n"
+        "  colibri-sim --adapter lrscwait --wait-capacity 128 --workload "
+        "msqueue\n"
+        "  colibri-sim --adapter lrsc_single --workload prodcons "
+        "--producers 16 --consumers 16\n"
+        "  colibri-sim --list\n";
+}
+
+}  // namespace colibri::cli

@@ -1,0 +1,72 @@
+// Command-line options for the colibri-sim driver.
+//
+// The flag surface covers the full scenario space: adapter choice,
+// workload choice, geometry (everything arch::SystemConfig exposes), the
+// measurement window, and per-workload knobs. Parsing never aborts the
+// process: errors come back as a message naming the offending flag plus a
+// pointer to --help, so the driver (and the tests) can decide what to do.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace colibri::cli {
+
+struct Options {
+  // --- Scenario selection -----------------------------------------------
+  std::string adapter = "colibri";
+  std::string workload = "histogram";
+
+  // --- Geometry (arch::SystemConfig) ------------------------------------
+  std::uint32_t cores = 256;
+  std::uint32_t coresPerTile = 4;
+  std::uint32_t tilesPerGroup = 16;
+  std::uint32_t banksPerTile = 16;
+  std::uint32_t wordsPerBank = 256;
+
+  // --- Adapter knobs ------------------------------------------------------
+  /// LRSCwait_q reservation-queue capacity; 0 = "ideal" (one slot per core).
+  std::uint32_t waitCapacity = 8;
+  /// Colibri head/tail queue slots per memory controller.
+  std::uint32_t colibriQueues = 4;
+
+  // --- Measurement window -------------------------------------------------
+  std::uint64_t warmup = 2000;
+  std::uint64_t measure = 20000;
+
+  // --- Workload knobs -----------------------------------------------------
+  std::uint32_t bins = 16;          ///< histogram
+  std::uint32_t backoffCycles = 128;
+  std::uint32_t producers = 8;      ///< prodcons
+  std::uint32_t consumers = 8;      ///< prodcons
+  std::uint32_t queueCapacity = 0;  ///< msqueue/ticket_queue; 0 = 2*cores
+  std::uint32_t matmulN = 32;       ///< matmul dimension
+
+  std::uint64_t seed = 0xC011B21;
+
+  // --- Output / control ---------------------------------------------------
+  bool csv = false;
+  bool listScenarios = false;
+  bool help = false;
+};
+
+/// Result of parsing: either a valid Options or an error message that
+/// names the offending flag and suggests --help.
+struct ParseResult {
+  Options options;
+  std::optional<std::string> error;
+
+  [[nodiscard]] bool ok() const { return !error.has_value(); }
+};
+
+/// Parse argv (excluding argv[0]). Unknown flags, missing values, and
+/// malformed numbers all produce ParseResult::error.
+[[nodiscard]] ParseResult parseArgs(const std::vector<std::string>& args);
+
+/// Print the flag reference (the --help text).
+void printUsage(std::ostream& os);
+
+}  // namespace colibri::cli

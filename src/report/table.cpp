@@ -51,9 +51,25 @@ void Table::print(std::ostream& os) const {
 }
 
 void Table::printCsv(std::ostream& os) const {
+  // RFC 4180: cells containing a comma, quote, or newline are quoted,
+  // with embedded quotes doubled. Plain cells stay bare.
+  auto quoted = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) {
+      return cell;
+    }
+    std::string out = "\"";
+    for (const char c : cell) {
+      if (c == '"') {
+        out += '"';
+      }
+      out += c;
+    }
+    out += '"';
+    return out;
+  };
   auto emit = [&](const std::vector<std::string>& cells) {
     for (std::size_t i = 0; i < cells.size(); ++i) {
-      os << (i == 0 ? "" : ",") << cells[i];
+      os << (i == 0 ? "" : ",") << quoted(cells[i]);
     }
     os << '\n';
   };

@@ -5,6 +5,7 @@
 // to CSV for external plotting.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
 #include <vector>

@@ -1,0 +1,157 @@
+// CLI driver tests: the scenario registry enumerates every adapter x
+// workload pair, flag parsing surfaces usable errors, and a small
+// end-to-end run through cli::runMain prints a result table.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli/driver.hpp"
+#include "cli/options.hpp"
+#include "cli/scenario.hpp"
+
+namespace colibri::cli {
+namespace {
+
+TEST(CliRegistry, EnumeratesAllAdapterWorkloadPairs) {
+  const auto& as = adapters();
+  const auto& ws = workloads();
+  ASSERT_GE(as.size(), 6u);  // amo, lrsc_single, lrsc_table, lrscwait,
+                             // lrscwait_ideal, colibri
+  ASSERT_GE(ws.size(), 5u);  // histogram, msqueue, prodcons, matmul,
+                             // ticket_queue
+
+  const auto scenarios = allScenarios();
+  EXPECT_EQ(scenarios.size(), as.size() * ws.size());
+
+  std::set<std::pair<std::string, std::string>> seen;
+  for (const auto& s : scenarios) {
+    seen.emplace(s.adapter.name, s.workload.name);
+  }
+  EXPECT_EQ(seen.size(), scenarios.size()) << "duplicate scenario pairs";
+  for (const auto& a : as) {
+    for (const auto& w : ws) {
+      EXPECT_TRUE(seen.count({a.name, w.name}))
+          << "missing scenario " << a.name << " x " << w.name;
+    }
+  }
+}
+
+TEST(CliRegistry, NamesMatchIssueSurface) {
+  for (const char* name : {"amo", "lrsc_single", "lrsc_table", "lrscwait",
+                           "lrscwait_ideal", "colibri"}) {
+    EXPECT_TRUE(findAdapter(name).has_value()) << name;
+  }
+  for (const char* name :
+       {"histogram", "msqueue", "prodcons", "matmul", "ticket_queue"}) {
+    EXPECT_TRUE(findWorkload(name).has_value()) << name;
+  }
+  EXPECT_FALSE(findAdapter("tsx").has_value());
+  EXPECT_FALSE(findWorkload("raytracer").has_value());
+}
+
+TEST(CliRegistry, OnlyAmoProdconsUnsupported) {
+  for (const auto& s : allScenarios()) {
+    const bool expectUnsupported =
+        s.adapter.name == "amo" && s.workload.name == "prodcons";
+    EXPECT_EQ(s.supported, !expectUnsupported)
+        << s.adapter.name << " x " << s.workload.name;
+  }
+}
+
+TEST(CliOptions, ParsesScenarioAndGeometryFlags) {
+  const auto r = parseArgs({"--adapter", "lrscwait", "--workload", "msqueue",
+                            "--cores", "64", "--wait-capacity=16",
+                            "--measure", "5000", "--csv"});
+  ASSERT_TRUE(r.ok()) << *r.error;
+  EXPECT_EQ(r.options.adapter, "lrscwait");
+  EXPECT_EQ(r.options.workload, "msqueue");
+  EXPECT_EQ(r.options.cores, 64u);
+  EXPECT_EQ(r.options.waitCapacity, 16u);
+  EXPECT_EQ(r.options.measure, 5000u);
+  EXPECT_TRUE(r.options.csv);
+}
+
+TEST(CliOptions, UnknownFlagFailsWithUsableError) {
+  const auto r = parseArgs({"--frobnicate", "7"});
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error->find("--frobnicate"), std::string::npos)
+      << "error must name the offending flag: " << *r.error;
+  EXPECT_NE(r.error->find("--help"), std::string::npos)
+      << "error must point at --help: " << *r.error;
+}
+
+TEST(CliOptions, MissingAndMalformedValuesFail) {
+  const auto missing = parseArgs({"--cores"});
+  ASSERT_FALSE(missing.ok());
+  EXPECT_NE(missing.error->find("--cores"), std::string::npos);
+
+  const auto malformed = parseArgs({"--cores", "many"});
+  ASSERT_FALSE(malformed.ok());
+  EXPECT_NE(malformed.error->find("many"), std::string::npos);
+}
+
+TEST(CliDriver, UnknownFlagExitsNonzeroViaMain) {
+  std::ostringstream out, err;
+  EXPECT_EQ(runMain({"--frobnicate"}, out, err), 2);
+  EXPECT_NE(err.str().find("--frobnicate"), std::string::npos);
+}
+
+TEST(CliDriver, UnknownAdapterListsChoices) {
+  std::ostringstream out, err;
+  EXPECT_EQ(runMain({"--adapter", "tsx"}, out, err), 2);
+  EXPECT_NE(err.str().find("colibri"), std::string::npos)
+      << "error should list valid adapters: " << err.str();
+}
+
+TEST(CliDriver, BadGeometryIsAUsableError) {
+  std::ostringstream out, err;
+  EXPECT_EQ(runMain({"--cores", "10", "--cores-per-tile", "4"}, out, err), 2);
+  EXPECT_NE(err.str().find("--cores"), std::string::npos) << err.str();
+}
+
+TEST(CliDriver, ListPrintsEveryScenario) {
+  std::ostringstream out, err;
+  EXPECT_EQ(runMain({"--list"}, out, err), 0);
+  for (const auto& s : allScenarios()) {
+    EXPECT_NE(out.str().find(s.adapter.name), std::string::npos);
+    EXPECT_NE(out.str().find(s.workload.name), std::string::npos);
+  }
+}
+
+TEST(CliDriver, HelpMentionsEveryFlagUsedInTests) {
+  std::ostringstream out, err;
+  EXPECT_EQ(runMain({"--help"}, out, err), 0);
+  for (const char* flag : {"--adapter", "--workload", "--cores",
+                           "--wait-capacity", "--measure", "--list"}) {
+    EXPECT_NE(out.str().find(flag), std::string::npos) << flag;
+  }
+}
+
+TEST(CliDriver, SmallHistogramRunPrintsResultRow) {
+  std::ostringstream out, err;
+  const int rc = runMain({"--adapter", "colibri", "--workload", "histogram",
+                          "--cores", "16", "--cores-per-tile", "4",
+                          "--tiles-per-group", "2", "--banks-per-tile", "4",
+                          "--words-per-bank", "64", "--bins", "4", "--warmup",
+                          "500", "--measure", "2000"},
+                         out, err);
+  EXPECT_EQ(rc, 0) << err.str();
+  EXPECT_NE(out.str().find("ops/cycle"), std::string::npos) << out.str();
+  EXPECT_NE(out.str().find("colibri"), std::string::npos);
+  EXPECT_NE(out.str().find("yes"), std::string::npos) << "sum not verified";
+}
+
+TEST(CliDriver, UnsupportedScenarioFailsCleanly) {
+  std::ostringstream out, err;
+  const int rc =
+      runMain({"--adapter", "amo", "--workload", "prodcons"}, out, err);
+  EXPECT_EQ(rc, 2);
+  EXPECT_NE(err.str().find("not runnable"), std::string::npos) << err.str();
+}
+
+}  // namespace
+}  // namespace colibri::cli

@@ -166,6 +166,15 @@ TEST(Report, CsvEmission) {
   EXPECT_EQ(os.str(), "a,b\n1,2\n");
 }
 
+TEST(Report, CsvQuotesCellsWithCommasAndQuotes) {
+  report::Table t({"name", "desc"});
+  t.addRow({"plain", "a, b"});
+  t.addRow({"q", "say \"hi\""});
+  std::ostringstream os;
+  t.printCsv(os);
+  EXPECT_EQ(os.str(), "name,desc\nplain,\"a, b\"\nq,\"say \"\"hi\"\"\"\n");
+}
+
 TEST(Report, MismatchedRowThrows) {
   report::Table t({"a", "b"});
   EXPECT_THROW(t.addRow({"only-one"}), sim::InvariantViolation);
