@@ -5,13 +5,13 @@
 // histogram. Expected: some backoff helps LR/SC a lot at high contention
 // (less retry traffic per success), but no policy closes the gap to
 // Colibri — backoff trades polling for idleness instead of eliminating it.
+#include <algorithm>
 #include <iostream>
 
 #include "common.hpp"
 
 using namespace colibri;
 using workloads::HistogramMode;
-using workloads::HistogramParams;
 
 int main() {
   struct Policy {
@@ -27,45 +27,38 @@ int main() {
   };
   const std::vector<std::uint32_t> bins = {1, 16};
 
-  std::vector<std::function<double()>> jobs;
+  const auto lrscCfg = exp::configFor(bench::namedAdapter("lrsc_single"));
+  std::vector<exp::RunSpec> specs;
   for (const auto& pol : policies) {
     for (const auto b : bins) {
-      jobs.push_back([&pol, b] {
-        HistogramParams p;
-        p.bins = b;
-        p.mode = HistogramMode::kLrsc;
-        p.window = bench::benchWindow();
-        p.backoff = pol.policy;
-        return bench::histogramPoint(
-                   bench::memPoolWith(arch::AdapterKind::kLrscSingle), p)
-            .rate.opsPerCycle;
-      });
+      specs.push_back(bench::histogramSpec(pol.name + "/" +
+                                               std::to_string(b),
+                                           lrscCfg, b, HistogramMode::kLrsc,
+                                           pol.policy));
     }
   }
   // Colibri reference (no backoff needed).
-  jobs.push_back([] {
-    HistogramParams p;
-    p.bins = 1;
-    p.mode = HistogramMode::kLrscWait;
-    p.window = bench::benchWindow();
-    return bench::histogramPoint(
-               bench::memPoolWith(arch::AdapterKind::kColibri), p)
-        .rate.opsPerCycle;
-  });
-  const auto rates = bench::runParallel(std::move(jobs));
+  specs.push_back(bench::histogramSpec(
+      "colibri/1", exp::configFor(bench::namedAdapter("colibri")), 1,
+      HistogramMode::kLrscWait, sync::BackoffPolicy::none()));
+  exp::SweepRunner runner;
+  const auto results = runner.run(specs);
+  const auto rateAt = [&](std::size_t i) {
+    return results[i].primary().rate.opsPerCycle;
+  };
 
   report::banner(std::cout,
                  "Ablation B: LR/SC backoff policy (histogram, 256 cores)");
   report::Table table({"Backoff", "1 bin", "16 bins"});
   for (std::size_t i = 0; i < policies.size(); ++i) {
-    table.addRow({policies[i].name, report::fmt(rates[i * 2], 4),
-                  report::fmt(rates[i * 2 + 1], 4)});
+    table.addRow({policies[i].name, report::fmt(rateAt(i * 2), 4),
+                  report::fmt(rateAt(i * 2 + 1), 4)});
   }
   table.print(std::cout);
-  const double colibri = rates.back();
+  const double colibri = rateAt(results.size() - 1);
   double bestLrsc = 0.0;
   for (std::size_t i = 0; i < policies.size(); ++i) {
-    bestLrsc = std::max(bestLrsc, rates[i * 2]);
+    bestLrsc = std::max(bestLrsc, rateAt(i * 2));
   }
   std::cout << "\nBest LR/SC policy at 1 bin: " << report::fmt(bestLrsc, 4)
             << " vs Colibri " << report::fmt(colibri, 4) << " ("

@@ -7,9 +7,15 @@
 // every head/tail register pair busy and fail immediately (software
 // retry); with Q >= hotAddrs Colibri is retry-free. This quantifies the
 // area/performance trade of Table I's "addresses" parameter.
+//
+// The kernel is not a registry workload (it needs allocInBank placement),
+// so the sweep runs through exp::SweepRunner::map — same bounded pool,
+// custom job bodies.
+#include <functional>
 #include <iostream>
 #include <numeric>
 
+#include "arch/system.hpp"
 #include "common.hpp"
 #include "sync/atomic.hpp"
 
@@ -38,10 +44,13 @@ sim::Task worker(arch::System& sys, arch::Core& core, Shared& sh) {
   }
 }
 
-double runPoint(std::uint32_t queues, std::uint32_t hotAddrs,
-                std::uint64_t* fails) {
-  auto cfg = arch::SystemConfig::memPool();
-  cfg.adapter = arch::AdapterKind::kColibri;
+struct QPoint {
+  double rate = 0.0;
+  std::uint64_t fails = 0;
+};
+
+QPoint runPoint(std::uint32_t queues, std::uint32_t hotAddrs) {
+  auto cfg = exp::configFor(bench::namedAdapter("colibri"));
   cfg.colibriQueuesPerController = queues;
   arch::System sys(cfg);
 
@@ -52,35 +61,49 @@ double runPoint(std::uint32_t queues, std::uint32_t hotAddrs,
   }
   sh.perCore.assign(sys.numCores(), 0);
 
-  constexpr sim::Cycle kEnd = 20000;
+  const sim::Cycle end = bench::benchWindow().horizon();
   for (sim::CoreId c = 0; c < 64; ++c) {  // 64 contenders
     sys.spawn(c, worker(sys, sys.core(c), sh));
   }
-  sys.at(kEnd, [&sh] { sh.stop = true; });
+  sys.at(end, [&sh] { sh.stop = true; });
   sys.run();
   sys.rethrowFailures();
 
-  *fails = sys.bank(0).adapter().stats().lrFails;
+  QPoint pt;
+  pt.fails = sys.bank(0).adapter().stats().lrFails;
   const auto total =
       std::accumulate(sh.perCore.begin(), sh.perCore.end(), std::uint64_t{0});
-  return static_cast<double>(total) / static_cast<double>(kEnd);
+  pt.rate = static_cast<double>(total) / static_cast<double>(end);
+  return pt;
 }
 
 }  // namespace
 
 int main() {
+  const std::vector<std::uint32_t> queueCounts = {1, 2, 4, 8};
+  const std::vector<std::uint32_t> hotCounts = {1, 2, 4, 8};
+
+  std::vector<std::function<QPoint()>> jobs;
+  for (const auto q : queueCounts) {
+    for (const auto hot : hotCounts) {
+      jobs.push_back([q, hot] { return runPoint(q, hot); });
+    }
+  }
+  exp::SweepRunner runner;
+  const auto points = runner.map(std::move(jobs));
+
   report::banner(std::cout,
                  "Ablation A: Colibri queues/controller vs throughput "
                  "(64 cores on `hot` words packed into ONE bank)");
   report::Table table({"Queues/ctrl", "Hot=1", "Hot=2", "Hot=4", "Hot=8",
                        "ImmediateFails(hot=8)"});
-  for (const std::uint32_t q : {1u, 2u, 4u, 8u}) {
-    std::vector<std::string> row{std::to_string(q)};
-    std::uint64_t fails = 0;
-    for (const std::uint32_t hot : {1u, 2u, 4u, 8u}) {
-      row.push_back(report::fmt(runPoint(q, hot, &fails), 4));
+  for (std::size_t qi = 0; qi < queueCounts.size(); ++qi) {
+    std::vector<std::string> row{std::to_string(queueCounts[qi])};
+    for (std::size_t hi = 0; hi < hotCounts.size(); ++hi) {
+      row.push_back(report::fmt(points[qi * hotCounts.size() + hi].rate, 4));
     }
-    row.push_back(std::to_string(fails));
+    row.push_back(std::to_string(
+        points[qi * hotCounts.size() + hotCounts.size() - 1].fails));
     table.addRow(row);
   }
   table.print(std::cout);

@@ -5,26 +5,13 @@
 // a protocol property — retries vs. sleeping — not a latency artifact);
 // disabling backpressure shrinks but does not eliminate it (bank-port
 // serialization alone still punishes retry traffic).
+#include <algorithm>
 #include <iostream>
 
 #include "common.hpp"
 
 using namespace colibri;
 using workloads::HistogramMode;
-using workloads::HistogramParams;
-
-namespace {
-
-double point(arch::SystemConfig cfg, HistogramMode mode) {
-  HistogramParams p;
-  p.bins = 1;
-  p.mode = mode;
-  p.window = bench::benchWindow();
-  p.backoff = sync::BackoffPolicy::fixed(128);
-  return bench::histogramPoint(cfg, p).rate.opsPerCycle;
-}
-
-}  // namespace
 
 int main() {
   struct Variant {
@@ -40,35 +27,38 @@ int main() {
       {"strong backpressure (hold 16)", 1, 16},
   };
 
-  std::vector<std::function<std::pair<double, double>()>> jobs;
+  // Two specs per variant: Colibri then LRSC on the same fabric.
+  std::vector<exp::RunSpec> specs;
   for (const auto& v : variants) {
-    jobs.push_back([&v] {
-      auto mk = [&](arch::AdapterKind k) {
-        auto cfg = bench::memPoolWith(k);
-        cfg.latLocalTile *= v.latencyMult;
-        cfg.latSameGroup *= v.latencyMult;
-        cfg.latRemoteGroup *= v.latencyMult;
-        cfg.linkHoldMax = v.linkHoldMax;
-        return cfg;
-      };
-      const double colibri =
-          point(mk(arch::AdapterKind::kColibri), HistogramMode::kLrscWait);
-      const double lrsc =
-          point(mk(arch::AdapterKind::kLrscSingle), HistogramMode::kLrsc);
-      return std::make_pair(colibri, lrsc);
-    });
+    const auto withFabric = [&v](arch::SystemConfig cfg) {
+      cfg.latLocalTile *= v.latencyMult;
+      cfg.latSameGroup *= v.latencyMult;
+      cfg.latRemoteGroup *= v.latencyMult;
+      cfg.linkHoldMax = v.linkHoldMax;
+      return cfg;
+    };
+    specs.push_back(bench::histogramSpec(
+        v.name + "/colibri",
+        withFabric(exp::configFor(bench::namedAdapter("colibri"))), 1,
+        HistogramMode::kLrscWait));
+    specs.push_back(bench::histogramSpec(
+        v.name + "/lrsc",
+        withFabric(exp::configFor(bench::namedAdapter("lrsc_single"))), 1,
+        HistogramMode::kLrsc));
   }
-  const auto results = bench::runParallel(std::move(jobs));
+  exp::SweepRunner runner;
+  const auto results = runner.run(specs);
 
   report::banner(std::cout,
                  "Ablation C: fabric-model sensitivity of the 1-bin "
                  "Colibri vs LRSC gap (256 cores)");
   report::Table table({"Fabric variant", "Colibri", "LRSC", "Gap"});
   for (std::size_t i = 0; i < variants.size(); ++i) {
-    table.addRow({variants[i].name, report::fmt(results[i].first, 4),
-                  report::fmt(results[i].second, 4),
-                  report::fmtSpeedup(results[i].first /
-                                     std::max(results[i].second, 1e-9))});
+    const double colibri = results[2 * i].primary().rate.opsPerCycle;
+    const double lrsc = results[2 * i + 1].primary().rate.opsPerCycle;
+    table.addRow({variants[i].name, report::fmt(colibri, 4),
+                  report::fmt(lrsc, 4),
+                  report::fmtSpeedup(colibri / std::max(lrsc, 1e-9))});
   }
   table.print(std::cout);
   std::cout << "\nThe gap is a protocol property: it survives every fabric "

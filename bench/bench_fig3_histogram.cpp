@@ -20,7 +20,6 @@
 
 using namespace colibri;
 using workloads::HistogramMode;
-using workloads::HistogramParams;
 
 namespace {
 
@@ -34,35 +33,31 @@ struct Curve {
 
 int main() {
   const std::vector<Curve> curves = {
-      {"AtomicAdd", bench::memPoolWith(arch::AdapterKind::kAmoOnly),
+      {"AtomicAdd", exp::configFor(bench::namedAdapter("amo")),
        HistogramMode::kAmoAdd},
-      {"LRSCwait_ideal", bench::memPoolWith(arch::AdapterKind::kLrscWait, 256),
+      {"LRSCwait_ideal",
+       exp::configFor(bench::namedAdapter("lrscwait_ideal")),
        HistogramMode::kLrscWait},
-      {"LRSCwait_128", bench::memPoolWith(arch::AdapterKind::kLrscWait, 128),
+      {"LRSCwait_128", exp::configFor(bench::namedAdapter("lrscwait"), 128),
        HistogramMode::kLrscWait},
-      {"LRSCwait_1", bench::memPoolWith(arch::AdapterKind::kLrscWait, 1),
+      {"LRSCwait_1", exp::configFor(bench::namedAdapter("lrscwait"), 1),
        HistogramMode::kLrscWait},
-      {"Colibri", bench::memPoolWith(arch::AdapterKind::kColibri),
+      {"Colibri", exp::configFor(bench::namedAdapter("colibri")),
        HistogramMode::kLrscWait},
-      {"LRSC", bench::memPoolWith(arch::AdapterKind::kLrscSingle),
+      {"LRSC", exp::configFor(bench::namedAdapter("lrsc_single")),
        HistogramMode::kLrsc},
   };
   const auto bins = bench::binSeries();
 
-  std::vector<std::function<double()>> jobs;
+  std::vector<exp::RunSpec> specs;
   for (const auto& curve : curves) {
     for (const auto b : bins) {
-      jobs.push_back([&curve, b] {
-        HistogramParams p;
-        p.bins = b;
-        p.mode = curve.mode;
-        p.window = bench::benchWindow();
-        p.backoff = sync::BackoffPolicy::fixed(128);
-        return bench::histogramPoint(curve.cfg, p).rate.opsPerCycle;
-      });
+      specs.push_back(bench::histogramSpec(
+          curve.name + "/" + std::to_string(b), curve.cfg, b, curve.mode));
     }
   }
-  const auto rates = bench::runParallel(std::move(jobs));
+  exp::SweepRunner runner;
+  const auto results = runner.run(specs);
 
   report::banner(std::cout,
                  "Figure 3: histogram updates/cycle vs #bins (256 cores)");
@@ -70,19 +65,19 @@ int main() {
   for (const auto& c : curves) {
     headers.push_back(c.name);
   }
+  const auto at = [&](std::size_t ci, std::size_t bi) {
+    return results[ci * bins.size() + bi].primary().rate.opsPerCycle;
+  };
   report::Table table(headers);
   for (std::size_t bi = 0; bi < bins.size(); ++bi) {
     std::vector<std::string> row{std::to_string(bins[bi])};
     for (std::size_t ci = 0; ci < curves.size(); ++ci) {
-      row.push_back(report::fmt(rates[ci * bins.size() + bi], 4));
+      row.push_back(report::fmt(at(ci, bi), 4));
     }
     table.addRow(row);
   }
   table.print(std::cout);
 
-  const auto at = [&](std::size_t ci, std::size_t bi) {
-    return rates[ci * bins.size() + bi];
-  };
   const std::size_t last = bins.size() - 1;
   std::cout << "\nColibri vs LRSC at 1 bin:     "
             << report::fmtSpeedup(at(4, 0) / at(5, 0))

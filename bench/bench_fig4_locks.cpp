@@ -18,7 +18,6 @@
 
 using namespace colibri;
 using workloads::HistogramMode;
-using workloads::HistogramParams;
 
 namespace {
 
@@ -31,34 +30,28 @@ struct Curve {
 }  // namespace
 
 int main() {
-  const auto colibriCfg = bench::memPoolWith(arch::AdapterKind::kColibri);
+  const auto colibriCfg = exp::configFor(bench::namedAdapter("colibri"));
+  const auto lrscCfg = exp::configFor(bench::namedAdapter("lrsc_single"));
   const std::vector<Curve> curves = {
       {"Colibri", colibriCfg, HistogramMode::kLrscWait},
       {"ColibriLock", colibriCfg, HistogramMode::kLrwaitLock},
       {"MwaitLock", colibriCfg, HistogramMode::kMcsMwaitLock},
-      {"LRSC", bench::memPoolWith(arch::AdapterKind::kLrscSingle),
-       HistogramMode::kLrsc},
-      {"LRSCLock", bench::memPoolWith(arch::AdapterKind::kLrscSingle),
-       HistogramMode::kLrscLock},
-      {"AmoAddLock", bench::memPoolWith(arch::AdapterKind::kAmoOnly),
+      {"LRSC", lrscCfg, HistogramMode::kLrsc},
+      {"LRSCLock", lrscCfg, HistogramMode::kLrscLock},
+      {"AmoAddLock", exp::configFor(bench::namedAdapter("amo")),
        HistogramMode::kAmoLock},
   };
   const auto bins = bench::binSeries();
 
-  std::vector<std::function<double()>> jobs;
+  std::vector<exp::RunSpec> specs;
   for (const auto& curve : curves) {
     for (const auto b : bins) {
-      jobs.push_back([&curve, b] {
-        HistogramParams p;
-        p.bins = b;
-        p.mode = curve.mode;
-        p.window = bench::benchWindow();
-        p.backoff = sync::BackoffPolicy::fixed(128);
-        return bench::histogramPoint(curve.cfg, p).rate.opsPerCycle;
-      });
+      specs.push_back(bench::histogramSpec(
+          curve.name + "/" + std::to_string(b), curve.cfg, b, curve.mode));
     }
   }
-  const auto rates = bench::runParallel(std::move(jobs));
+  exp::SweepRunner runner;
+  const auto results = runner.run(specs);
 
   report::banner(
       std::cout,
@@ -67,19 +60,19 @@ int main() {
   for (const auto& c : curves) {
     headers.push_back(c.name);
   }
+  const auto at = [&](std::size_t ci, std::size_t bi) {
+    return results[ci * bins.size() + bi].primary().rate.opsPerCycle;
+  };
   report::Table table(headers);
   for (std::size_t bi = 0; bi < bins.size(); ++bi) {
     std::vector<std::string> row{std::to_string(bins[bi])};
     for (std::size_t ci = 0; ci < curves.size(); ++ci) {
-      row.push_back(report::fmt(rates[ci * bins.size() + bi], 4));
+      row.push_back(report::fmt(at(ci, bi), 4));
     }
     table.addRow(row);
   }
   table.print(std::cout);
 
-  const auto at = [&](std::size_t ci, std::size_t bi) {
-    return rates[ci * bins.size() + bi];
-  };
   bool colibriTops = true;
   for (std::size_t bi = 0; bi < bins.size(); ++bi) {
     for (std::size_t ci = 1; ci < curves.size(); ++ci) {

@@ -15,7 +15,6 @@
 #include <numeric>
 
 #include "common.hpp"
-#include "workloads/matmul.hpp"
 
 using namespace colibri;
 using workloads::HistogramMode;
@@ -26,7 +25,7 @@ namespace {
 
 struct Series {
   std::string name;
-  arch::AdapterKind adapter;
+  std::string adapter;
   HistogramMode mode;
   std::uint32_t workers;
 };
@@ -47,56 +46,62 @@ MatmulParams matmulFor(std::uint32_t workers) {
 
 int main() {
   const std::vector<Series> series = {
-      {"Colibri 252:4", arch::AdapterKind::kColibri, HistogramMode::kLrscWait,
-       4},
-      {"LRSC 128:128", arch::AdapterKind::kLrscSingle, HistogramMode::kLrsc,
-       128},
-      {"LRSC 192:64", arch::AdapterKind::kLrscSingle, HistogramMode::kLrsc,
-       64},
-      {"LRSC 248:8", arch::AdapterKind::kLrscSingle, HistogramMode::kLrsc, 8},
-      {"LRSC 252:4", arch::AdapterKind::kLrscSingle, HistogramMode::kLrsc, 4},
+      {"Colibri 252:4", "colibri", HistogramMode::kLrscWait, 4},
+      {"LRSC 128:128", "lrsc_single", HistogramMode::kLrsc, 128},
+      {"LRSC 192:64", "lrsc_single", HistogramMode::kLrsc, 64},
+      {"LRSC 248:8", "lrsc_single", HistogramMode::kLrsc, 8},
+      {"LRSC 252:4", "lrsc_single", HistogramMode::kLrsc, 4},
   };
   const std::vector<std::uint32_t> bins = {1, 4, 8, 12, 16};
 
-  // Interference-free baselines, one per distinct worker count.
-  std::vector<std::uint32_t> workerCounts = {4, 8, 64, 128};
-  std::vector<std::function<double()>> baselineJobs;
+  // One sweep: interference-free baselines (one per distinct worker
+  // count) first, then every series x bins point.
+  const std::vector<std::uint32_t> workerCounts = {4, 8, 64, 128};
+  std::vector<exp::RunSpec> specs;
   for (const auto w : workerCounts) {
-    baselineJobs.push_back([w] {
-      arch::System sys(bench::memPoolWith(arch::AdapterKind::kAmoOnly));
-      return static_cast<double>(
-          workloads::runMatmul(sys, matmulFor(w)).duration);
-    });
+    exp::RunSpec spec;
+    spec.label = "baseline/" + std::to_string(w);
+    spec.config = exp::configFor(bench::namedAdapter("amo"));
+    spec.params = matmulFor(w);
+    spec.window = bench::benchWindow();
+    specs.push_back(std::move(spec));
   }
-  const auto baselines = bench::runParallel(std::move(baselineJobs));
+  for (const auto& s : series) {
+    for (const auto b : bins) {
+      InterferenceParams ip;
+      ip.matmul = matmulFor(s.workers);
+      ip.bins = b;
+      ip.pollerMode = s.mode;
+      ip.pollerBackoff = sync::BackoffPolicy::fixed(128);
+      for (sim::CoreId c = s.workers; c < 256; ++c) {
+        ip.pollers.push_back(c);
+      }
+      exp::RunSpec spec;
+      spec.label = s.name + "/" + std::to_string(b);
+      spec.config = exp::configFor(bench::namedAdapter(s.adapter));
+      spec.params = std::move(ip);
+      spec.window = bench::benchWindow();
+      specs.push_back(std::move(spec));
+    }
+  }
+  exp::SweepRunner runner;
+  const auto results = runner.run(specs);
+
   const auto baselineFor = [&](std::uint32_t w) {
     for (std::size_t i = 0; i < workerCounts.size(); ++i) {
       if (workerCounts[i] == w) {
-        return baselines[i];
+        return static_cast<double>(results[i].primary().duration);
       }
     }
-    return baselines.back();
+    return static_cast<double>(
+        results[workerCounts.size() - 1].primary().duration);
   };
-
-  std::vector<std::function<double()>> jobs;
-  for (const auto& s : series) {
-    for (const auto b : bins) {
-      jobs.push_back([&s, b] {
-        arch::System sys(bench::memPoolWith(s.adapter));
-        InterferenceParams ip;
-        ip.matmul = matmulFor(s.workers);
-        ip.bins = b;
-        ip.pollerMode = s.mode;
-        ip.pollerBackoff = sync::BackoffPolicy::fixed(128);
-        for (sim::CoreId c = s.workers; c < 256; ++c) {
-          ip.pollers.push_back(c);
-        }
-        return static_cast<double>(
-            workloads::runInterference(sys, ip).matmul.duration);
-      });
-    }
-  }
-  const auto durations = bench::runParallel(std::move(jobs));
+  const auto durationAt = [&](std::size_t si, std::size_t bi) {
+    return static_cast<double>(
+        results[workerCounts.size() + si * bins.size() + bi]
+            .primary()
+            .duration);
+  };
 
   report::banner(std::cout,
                  "Figure 5: matmul throughput under atomic interference "
@@ -110,15 +115,15 @@ int main() {
     std::vector<std::string> row{std::to_string(bins[bi])};
     for (std::size_t si = 0; si < series.size(); ++si) {
       const double rel =
-          baselineFor(series[si].workers) / durations[si * bins.size() + bi];
+          baselineFor(series[si].workers) / durationAt(si, bi);
       row.push_back(report::fmt(rel, 3));
     }
     table.addRow(row);
   }
   table.print(std::cout);
 
-  const double colibriWorst = baselineFor(4) / durations[0];
-  const double lrscWorst = baselineFor(4) / durations[4 * bins.size()];
+  const double colibriWorst = baselineFor(4) / durationAt(0, 0);
+  const double lrscWorst = baselineFor(4) / durationAt(4, 0);
   std::cout << "\nColibri 252:4 at 1 bin keeps workers at "
             << report::fmt(100.0 * colibriWorst, 1)
             << "% (paper: ~100%); LRSC 252:4 drags them to "

@@ -14,7 +14,6 @@
 #include <numeric>
 
 #include "common.hpp"
-#include "workloads/msqueue.hpp"
 
 using namespace colibri;
 using workloads::QueueParams;
@@ -24,7 +23,7 @@ namespace {
 
 struct Curve {
   std::string name;
-  arch::AdapterKind adapter;
+  std::string adapter;
   QueueVariant variant;
 };
 
@@ -32,69 +31,64 @@ struct Curve {
 
 int main() {
   const std::vector<Curve> curves = {
-      {"Colibri", arch::AdapterKind::kColibri, QueueVariant::kLrscWait},
-      {"AtomicAddLock", arch::AdapterKind::kAmoOnly, QueueVariant::kLock},
-      {"LRSC", arch::AdapterKind::kLrscSingle, QueueVariant::kLrsc},
+      {"Colibri", "colibri", QueueVariant::kLrscWait},
+      {"AtomicAddLock", "amo", QueueVariant::kLock},
+      {"LRSC", "lrsc_single", QueueVariant::kLrsc},
   };
   const std::vector<std::uint32_t> coreCounts = {1,  2,  4,  8,   16,
                                                  32, 64, 128, 256};
 
-  struct Point {
-    double rate;
-    double minRate;
-    double maxRate;
-    double jain;
-  };
-  std::vector<std::function<Point()>> jobs;
+  std::vector<exp::RunSpec> specs;
   for (const auto& curve : curves) {
     for (const auto n : coreCounts) {
-      jobs.push_back([&curve, n] {
-        arch::System sys(bench::memPoolWith(curve.adapter));
-        QueueParams p;
-        p.variant = curve.variant;
-        p.window = bench::benchWindow();
-        p.backoff = sync::BackoffPolicy::fixed(128);
-        p.cores.resize(n);
-        std::iota(p.cores.begin(), p.cores.end(), 0);
-        const auto r = workloads::runQueue(sys, p);
-        return Point{r.rate.opsPerCycle, r.rate.perCoreMinRate * n,
-                     r.rate.perCoreMaxRate * n, r.rate.fairnessJain};
-      });
+      QueueParams p;
+      p.variant = curve.variant;
+      p.backoff = sync::BackoffPolicy::fixed(128);
+      p.cores.resize(n);
+      std::iota(p.cores.begin(), p.cores.end(), 0);
+      exp::RunSpec spec;
+      spec.label = curve.name + "/" + std::to_string(n);
+      spec.config = exp::configFor(bench::namedAdapter(curve.adapter));
+      spec.params = std::move(p);
+      spec.window = bench::benchWindow();
+      specs.push_back(std::move(spec));
     }
   }
-  const auto points = bench::runParallel(std::move(jobs));
+  exp::SweepRunner runner;
+  const auto results = runner.run(specs);
 
   report::banner(std::cout,
                  "Figure 6: queue accesses/cycle vs #cores (min..max = "
                  "slowest..fastest core x n, the paper's shaded band)");
+  const auto at = [&](std::size_t ci, std::size_t ni) -> const auto& {
+    return results[ci * coreCounts.size() + ni].primary().rate;
+  };
   report::Table table({"#Cores", "Colibri", "Colibri min..max", "Jain",
                        "AmoLock", "AmoLock min..max", "Jain", "LRSC",
                        "LRSC min..max", "Jain"});
   for (std::size_t ni = 0; ni < coreCounts.size(); ++ni) {
+    const double n = static_cast<double>(coreCounts[ni]);
     std::vector<std::string> row{std::to_string(coreCounts[ni])};
     for (std::size_t ci = 0; ci < curves.size(); ++ci) {
-      const auto& pt = points[ci * coreCounts.size() + ni];
-      row.push_back(report::fmt(pt.rate, 4));
-      row.push_back(report::fmt(pt.minRate, 4) + ".." +
-                    report::fmt(pt.maxRate, 4));
-      row.push_back(report::fmt(pt.jain, 3));
+      const auto& rate = at(ci, ni);
+      row.push_back(report::fmt(rate.opsPerCycle, 4));
+      row.push_back(report::fmt(rate.perCoreMinRate * n, 4) + ".." +
+                    report::fmt(rate.perCoreMaxRate * n, 4));
+      row.push_back(report::fmt(rate.fairnessJain, 3));
     }
     table.addRow(row);
   }
   table.print(std::cout);
 
-  const auto at = [&](std::size_t ci, std::size_t ni) {
-    return points[ci * coreCounts.size() + ni];
-  };
   // Paper: Colibri 1.54x over LRSC at 8 cores, ~9x at 64 cores.
   std::cout << "\nColibri vs LRSC at 8 cores:  "
-            << report::fmtSpeedup(at(0, 3).rate / at(2, 3).rate)
+            << report::fmtSpeedup(at(0, 3).opsPerCycle / at(2, 3).opsPerCycle)
             << "  (paper: 1.54x)\n";
   std::cout << "Colibri vs LRSC at 64 cores: "
-            << report::fmtSpeedup(at(0, 6).rate / at(2, 6).rate)
+            << report::fmtSpeedup(at(0, 6).opsPerCycle / at(2, 6).opsPerCycle)
             << "  (paper: 9x)\n";
   std::cout << "Colibri vs lock  at 8 cores: "
-            << report::fmtSpeedup(at(0, 3).rate / at(1, 3).rate)
+            << report::fmtSpeedup(at(0, 3).opsPerCycle / at(1, 3).opsPerCycle)
             << "  (paper: 1.48x)\n";
   return 0;
 }

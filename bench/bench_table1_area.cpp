@@ -4,10 +4,15 @@
 // then the system-level scaling comparison that motivates Colibri:
 // a reservation queue sized to the core count grows quadratically with the
 // machine, Colibri linearly (Section III-A / IV).
+//
+// Model-only bench (no simulation); the scaling rows still go through
+// exp::SweepRunner::map so every bench shares the same bounded executor.
+#include <functional>
 #include <iostream>
+#include <vector>
 
+#include "common.hpp"
 #include "model/area.hpp"
-#include "report/table.hpp"
 
 int main() {
   using namespace colibri;
@@ -33,16 +38,25 @@ int main() {
 
   report::banner(std::cout,
                  "System-level overhead scaling (whole machine, kGE)");
+  std::vector<std::function<std::vector<std::string>()>> jobs;
+  for (const std::uint32_t mult : {1u, 2u, 4u, 8u}) {
+    jobs.push_back([mult]() -> std::vector<std::string> {
+      auto cfg = arch::SystemConfig::memPool();
+      cfg.numCores *= mult;  // tiles scale with the machine
+      return {
+          std::to_string(cfg.numCores),
+          report::fmt(model::systemOverheadKge(cfg, false, cfg.numCores), 0),
+          report::fmt(model::systemOverheadKge(cfg, false, 8), 0),
+          report::fmt(model::systemOverheadKge(cfg, true, 4), 0)};
+    });
+  }
+  exp::SweepRunner runner;
+  const auto rows = runner.map(std::move(jobs));
+
   report::Table scaling({"Cores", "LRSCwait_ideal (q=n)", "LRSCwait_8",
                          "Colibri (4 queues)"});
-  for (const std::uint32_t mult : {1u, 2u, 4u, 8u}) {
-    auto cfg = arch::SystemConfig::memPool();
-    cfg.numCores *= mult;  // tiles scale with the machine
-    scaling.addRow(
-        {std::to_string(cfg.numCores),
-         report::fmt(model::systemOverheadKge(cfg, false, cfg.numCores), 0),
-         report::fmt(model::systemOverheadKge(cfg, false, 8), 0),
-         report::fmt(model::systemOverheadKge(cfg, true, 4), 0)});
+  for (const auto& row : rows) {
+    scaling.addRow(row);
   }
   scaling.print(std::cout);
   std::cout << "\nLRSCwait_ideal grows ~quadratically (O(n^2)); Colibri and "

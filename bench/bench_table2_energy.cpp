@@ -1,24 +1,24 @@
 // Table II: power and energy per operation for atomic accesses to the
 // histogram at the highest contention (1 bin, 256 cores).
 //
-// The event-energy model (model/energy.hpp) charges the counters measured
-// in the same runs as Fig. 3/4. The Atomic Add row anchors the absolute
-// scale; the LRSC / lock blow-ups then emerge from their measured retry
-// and polling event counts, and Colibri's saving from its sleep cycles.
+// The event-energy model charges the counters measured in the same runs
+// as Fig. 3/4 — the exp layer evaluates it on every RunResult, so this
+// bench just reads averagePowerMw / energyPerOpPj off the sweep. The
+// Atomic Add row anchors the absolute scale; the LRSC / lock blow-ups
+// then emerge from their measured retry and polling event counts, and
+// Colibri's saving from its sleep cycles.
 #include <iostream>
 
 #include "common.hpp"
-#include "model/energy.hpp"
 
 using namespace colibri;
 using workloads::HistogramMode;
-using workloads::HistogramParams;
 
 namespace {
 
 struct Row {
   std::string name;
-  arch::SystemConfig cfg;
+  std::string adapter;
   HistogramMode mode;
   std::uint32_t backoff;
   double paperPowerMw;
@@ -29,20 +29,13 @@ struct Row {
 
 int main() {
   const std::vector<Row> rows = {
-      {"Atomic Add", bench::memPoolWith(arch::AdapterKind::kAmoOnly),
-       HistogramMode::kAmoAdd, 0, 175.0, 29.0},
-      {"Colibri", bench::memPoolWith(arch::AdapterKind::kColibri),
-       HistogramMode::kLrscWait, 0, 169.0, 124.0},
-      {"LRSC", bench::memPoolWith(arch::AdapterKind::kLrscSingle),
-       HistogramMode::kLrsc, 128, 186.0, 884.0},
-      {"Atomic Add lock", bench::memPoolWith(arch::AdapterKind::kAmoOnly),
-       HistogramMode::kAmoLock, 128, 188.0, 1092.0},
+      {"Atomic Add", "amo", HistogramMode::kAmoAdd, 0, 175.0, 29.0},
+      {"Colibri", "colibri", HistogramMode::kLrscWait, 0, 169.0, 124.0},
+      {"LRSC", "lrsc_single", HistogramMode::kLrsc, 128, 186.0, 884.0},
+      {"Atomic Add lock", "amo", HistogramMode::kAmoLock, 128, 188.0,
+       1092.0},
   };
 
-  struct Measured {
-    double powerMw;
-    double pjPerOp;
-  };
   // Two contention points: 1 bin (the paper's "highest contention") and
   // 4 bins. In our FIFO-queued fabric the 1-bin LR/SC equilibrium degrades
   // further than on the authors' testbed (requests pile up in unbounded
@@ -50,48 +43,44 @@ int main() {
   // holder's SC — waits behind the whole crowd), which inflates the LR/SC
   // blow-up; the 4-bin point reproduces the paper's ratios closely. See
   // EXPERIMENTS.md for the full analysis.
-  std::vector<std::function<Measured()>> jobs;
+  std::vector<exp::RunSpec> specs;
   for (const std::uint32_t bins : {1u, 4u}) {
     for (const auto& row : rows) {
-      jobs.push_back([&row, bins] {
-        HistogramParams p;
-        p.bins = bins;
-        p.mode = row.mode;
-        p.window = bench::benchWindow();
-        p.backoff = row.backoff == 0
-                        ? sync::BackoffPolicy::none()
-                        : sync::BackoffPolicy::fixed(row.backoff);
-        const auto r = bench::histogramPoint(row.cfg, p);
-        return Measured{
-            model::averagePowerMw(r.rate.counters),
-            model::energyPerOp(r.rate.counters, r.rate.opsInWindow)};
-      });
+      specs.push_back(bench::histogramSpec(
+          row.name + "/" + std::to_string(bins),
+          exp::configFor(bench::namedAdapter(row.adapter)), bins, row.mode,
+          row.backoff == 0 ? sync::BackoffPolicy::none()
+                           : sync::BackoffPolicy::fixed(row.backoff)));
     }
   }
-  const auto measured = bench::runParallel(std::move(jobs));
+  exp::SweepRunner runner;
+  const auto results = runner.run(specs);
 
   const auto printSection = [&](const char* title, std::size_t base) {
     report::banner(std::cout, title);
     report::Table table({"Atomic access", "Backoff", "Power[mW]", "pJ/OP",
                          "dVsColibri", "Paper pJ/OP", "Paper d"});
-    const double colibriPj = measured[base + 1].pjPerOp;
+    const auto pjAt = [&](std::size_t i) {
+      return results[base + i].primary().energyPerOpPj;
+    };
+    const double colibriPj = pjAt(1);
     const auto delta = [](double pj, double ref) {
       return report::fmt(100.0 * (pj / ref - 1.0), 0) + "%";
     };
     for (std::size_t i = 0; i < rows.size(); ++i) {
       table.addRow({rows[i].name, std::to_string(rows[i].backoff),
-                    report::fmt(measured[base + i].powerMw, 0),
-                    report::fmt(measured[base + i].pjPerOp, 0),
-                    delta(measured[base + i].pjPerOp, colibriPj),
+                    report::fmt(results[base + i].primary().averagePowerMw,
+                                0),
+                    report::fmt(pjAt(i), 0), delta(pjAt(i), colibriPj),
                     report::fmt(rows[i].paperPjPerOp, 0),
                     delta(rows[i].paperPjPerOp, 124.0)});
     }
     table.print(std::cout);
     std::cout << "LRSC / Colibri energy ratio: "
-              << report::fmtSpeedup(measured[base + 2].pjPerOp / colibriPj)
+              << report::fmtSpeedup(pjAt(2) / colibriPj)
               << "  (paper: 7.1x)\n";
     std::cout << "Lock / Colibri energy ratio: "
-              << report::fmtSpeedup(measured[base + 3].pjPerOp / colibriPj)
+              << report::fmtSpeedup(pjAt(3) / colibriPj)
               << "  (paper: 8.8x)\n";
   };
   printSection(

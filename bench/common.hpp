@@ -2,19 +2,22 @@
 //
 // Every bench binary regenerates one table or figure of the paper on the
 // modeled 256-core MemPool system and prints the same rows/series the
-// paper reports. Simulations are independent, so sweeps run in parallel
-// across std::async workers (each point owns a fresh System).
+// paper reports. A bench is a declarative sweep: build a vector of
+// exp::RunSpec points, hand it to exp::SweepRunner (a bounded pool — at
+// most hardware_concurrency OS threads, never one thread per point), and
+// index the order-preserved results back into the figure's rows.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <future>
-#include <iostream>
+#include <cstdlib>
+#include <string>
 #include <vector>
 
-#include "arch/system.hpp"
+#include "exp/run.hpp"
+#include "exp/scenario.hpp"
+#include "exp/sweep.hpp"
 #include "report/table.hpp"
-#include "workloads/histogram.hpp"
+#include "sim/check.hpp"
 
 namespace colibri::bench {
 
@@ -25,40 +28,38 @@ inline std::vector<std::uint32_t> binSeries() {
 
 /// Measurement window used by the figure benches: long enough for steady
 /// state at 256 cores, short enough to keep the whole sweep in seconds.
+/// COLIBRI_BENCH_QUICK=1 shrinks it to a smoke-test window (CI runs every
+/// bench this way; the numbers are noisy but every code path executes).
 inline workloads::MeasureWindow benchWindow() {
+  if (std::getenv("COLIBRI_BENCH_QUICK") != nullptr) {
+    return workloads::MeasureWindow{200, 1000};
+  }
   return workloads::MeasureWindow{2000, 20000};
 }
 
-/// Run all jobs concurrently and collect results in order.
-template <typename T>
-std::vector<T> runParallel(std::vector<std::function<T()>> jobs) {
-  std::vector<std::future<T>> futures;
-  futures.reserve(jobs.size());
-  for (auto& job : jobs) {
-    futures.push_back(std::async(std::launch::async, std::move(job)));
-  }
-  std::vector<T> out;
-  out.reserve(futures.size());
-  for (auto& f : futures) {
-    out.push_back(f.get());
-  }
-  return out;
+/// Registry adapter by name; benches name scenarios instead of
+/// hand-building configs.
+inline exp::AdapterSpec namedAdapter(const std::string& name) {
+  auto a = exp::findAdapter(name);
+  COLIBRI_CHECK_MSG(a.has_value(), "unknown adapter '" << name << "'");
+  return *std::move(a);
 }
 
-/// MemPool config with the given adapter (and optional LRSCwait capacity).
-inline arch::SystemConfig memPoolWith(arch::AdapterKind k,
-                                      std::uint32_t lrscWaitCapacity = 8) {
-  auto cfg = arch::SystemConfig::memPool();
-  cfg.adapter = k;
-  cfg.lrscWaitQueueCapacity = lrscWaitCapacity;
-  return cfg;
-}
-
-/// One histogram point on a fresh system.
-inline workloads::HistogramResult histogramPoint(
-    const arch::SystemConfig& cfg, const workloads::HistogramParams& p) {
-  arch::System sys(cfg);
-  return workloads::runHistogram(sys, p);
+/// One histogram sweep point on the paper's MemPool geometry.
+inline exp::RunSpec histogramSpec(
+    std::string label, arch::SystemConfig cfg, std::uint32_t bins,
+    workloads::HistogramMode mode,
+    sync::BackoffPolicy backoff = sync::BackoffPolicy::fixed(128)) {
+  workloads::HistogramParams p;
+  p.bins = bins;
+  p.mode = mode;
+  p.backoff = backoff;
+  exp::RunSpec spec;
+  spec.label = std::move(label);
+  spec.config = cfg;
+  spec.params = p;
+  spec.window = benchWindow();
+  return spec;
 }
 
 }  // namespace colibri::bench

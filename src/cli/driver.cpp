@@ -4,41 +4,18 @@
 #include <numeric>
 #include <ostream>
 
-#include "arch/system.hpp"
+#include "exp/json.hpp"
+#include "exp/run.hpp"
+#include "exp/scenario.hpp"
+#include "exp/sweep.hpp"
 #include "report/table.hpp"
 #include "sim/check.hpp"
-#include "workloads/histogram.hpp"
-#include "workloads/matmul.hpp"
-#include "workloads/msqueue.hpp"
-#include "workloads/prodcons.hpp"
 
 namespace colibri::cli {
 namespace {
 
 workloads::MeasureWindow windowOf(const Options& opts) {
   return workloads::MeasureWindow{opts.warmup, opts.measure};
-}
-
-/// The histogram RMW flavor each adapter actually implements.
-workloads::HistogramMode histogramModeFor(const AdapterSpec& adapter) {
-  if (adapter.waitCapable) {
-    return workloads::HistogramMode::kLrscWait;
-  }
-  if (adapter.kind == arch::AdapterKind::kAmoOnly) {
-    return workloads::HistogramMode::kAmoAdd;
-  }
-  return workloads::HistogramMode::kLrsc;
-}
-
-/// The queue variant each adapter runs for the msqueue workload.
-workloads::QueueVariant queueVariantFor(const AdapterSpec& adapter) {
-  if (adapter.waitCapable) {
-    return workloads::QueueVariant::kLrscWait;
-  }
-  if (adapter.kind == arch::AdapterKind::kAmoOnly) {
-    return workloads::QueueVariant::kLock;
-  }
-  return workloads::QueueVariant::kLrsc;
 }
 
 void emit(const report::Table& table, std::ostream& out, bool csv) {
@@ -49,10 +26,10 @@ void emit(const report::Table& table, std::ostream& out, bool csv) {
   }
 }
 
-/// In CSV mode the output must stay machine-clean: no banner line.
+/// In CSV/JSON mode the output must stay machine-clean: no banner line.
 void maybeBanner(std::ostream& out, const Options& opts,
                  const std::string& title) {
-  if (!opts.csv) {
+  if (!opts.csv && !opts.json) {
     report::banner(out, title);
   }
 }
@@ -63,128 +40,167 @@ double sleepFraction(const workloads::SystemCounters& c) {
   return total > 0.0 ? static_cast<double>(c.sleepCycles) / total : 0.0;
 }
 
+/// Translate Options into the declarative RunSpec the exp layer executes.
+/// The scenario registry already vetted the names; nullopt means a
+/// workload is registered but has no dispatch here (internal error).
+std::optional<exp::RunSpec> buildSpec(const Options& opts,
+                                      const AdapterSpec& adapter,
+                                      const arch::SystemConfig& cfg) {
+  exp::RunSpec spec;
+  spec.label = opts.adapter + "/" + opts.workload;
+  spec.workload = opts.workload;
+  spec.config = cfg;
+  spec.window = windowOf(opts);
+  spec.seed = opts.seed;
+  spec.repetitions = opts.reps;
+
+  const auto backoff = sync::BackoffPolicy::fixed(opts.backoffCycles);
+  if (opts.workload == "histogram") {
+    workloads::HistogramParams p;
+    p.bins = opts.bins;
+    p.mode = exp::histogramModeFor(adapter);
+    p.backoff = backoff;
+    spec.params = p;
+  } else if (opts.workload == "msqueue" || opts.workload == "ticket_queue") {
+    workloads::QueueParams p;
+    p.variant = opts.workload == "ticket_queue"
+                    ? workloads::QueueVariant::kLock
+                    : exp::queueVariantFor(adapter);
+    p.capacity = opts.queueCapacity;
+    p.backoff = backoff;
+    spec.params = p;
+  } else if (opts.workload == "prodcons") {
+    workloads::ProdConsParams p;
+    p.producers = opts.producers;
+    p.consumers = opts.consumers;
+    p.useMwait = adapter.waitCapable;
+    p.backoff = backoff;
+    spec.params = p;
+  } else if (opts.workload == "matmul") {
+    workloads::MatmulParams p;
+    p.n = opts.matmulN;
+    p.workers.resize(opts.cores);
+    std::iota(p.workers.begin(), p.workers.end(), 0);
+    spec.params = p;
+  } else {
+    return std::nullopt;
+  }
+  return spec;
+}
+
+/// The columns shared by the rate-based workloads (histogram, queues);
+/// the rate column shows the mean across reps (== the single measurement
+/// for --reps 1, keeping the documented output stable).
 std::vector<std::string> rateHeaders() {
-  return {"adapter", "workload",  "cores",   "ops/cycle",
-          "ops",     "jain",      "sleep%",  "verified"};
+  return {"adapter", "workload", "cores",  "ops/cycle",
+          "ops",     "jain",     "sleep%", "verified"};
 }
 
 std::vector<std::string> rateRow(const Options& opts,
-                                 const workloads::RateResult& rate,
-                                 bool verified) {
+                                 const exp::SweepResult& res) {
+  const auto& r = res.primary();
   return {opts.adapter,
           opts.workload,
           std::to_string(opts.cores),
-          report::fmt(rate.opsPerCycle, 4),
-          std::to_string(rate.opsInWindow),
-          report::fmt(rate.fairnessJain, 3),
-          report::fmtPercent(100.0 * sleepFraction(rate.counters)),
-          verified ? "yes" : "NO"};
+          report::fmt(res.opsPerCycle.mean, 4),
+          std::to_string(r.rate.opsInWindow),
+          report::fmt(r.rate.fairnessJain, 3),
+          report::fmtPercent(100.0 * sleepFraction(r.rate.counters)),
+          res.allVerified ? "yes" : "NO"};
 }
 
-int runHistogram(const Options& opts, const AdapterSpec& adapter,
-                 const arch::SystemConfig& cfg, std::ostream& out) {
-  workloads::HistogramParams p;
-  p.bins = opts.bins;
-  p.mode = histogramModeFor(adapter);
-  p.window = windowOf(opts);
-  p.backoff = sync::BackoffPolicy::fixed(opts.backoffCycles);
-  arch::System sys(cfg);
-  const auto r = workloads::runHistogram(sys, p);
+/// With --reps N > 1 every table gains the aggregate columns; the rate
+/// column always shows the mean across reps (identical to the single
+/// measurement for N = 1, keeping the documented output stable).
+void appendAggregate(std::vector<std::string>& headers,
+                     std::vector<std::string>& row, const Options& opts,
+                     const exp::SweepResult& res) {
+  if (opts.reps <= 1) {
+    return;
+  }
+  headers.insert(headers.end(), {"reps", "stddev", "min", "max"});
+  row.push_back(std::to_string(res.reps.size()));
+  row.push_back(report::fmt(res.opsPerCycle.stddev, 4));
+  row.push_back(report::fmt(res.opsPerCycle.min, 4));
+  row.push_back(report::fmt(res.opsPerCycle.max, 4));
+}
 
+void printHistogram(const Options& opts, const exp::RunSpec& spec,
+                    const exp::SweepResult& res, std::ostream& out) {
+  const auto& p = std::get<workloads::HistogramParams>(spec.params);
   maybeBanner(out, opts, "colibri-sim: histogram (" +
-                              std::string(workloads::toString(p.mode)) +
-                              ", " + std::to_string(opts.bins) +
-                              " bins) on " + opts.adapter);
+                             std::string(workloads::toString(p.mode)) + ", " +
+                             std::to_string(opts.bins) + " bins) on " +
+                             opts.adapter);
   auto headers = rateHeaders();
   headers.insert(headers.begin() + 3, "bins");
-  auto row = rateRow(opts, r.rate, r.sumVerified);
+  auto row = rateRow(opts, res);
   row.insert(row.begin() + 3, std::to_string(opts.bins));
+  appendAggregate(headers, row, opts, res);
   report::Table table(headers);
   table.addRow(row);
   emit(table, out, opts.csv);
-  return r.sumVerified ? 0 : 1;
 }
 
-int runQueue(const Options& opts, const AdapterSpec& adapter,
-             const arch::SystemConfig& cfg, std::ostream& out) {
-  workloads::QueueParams p;
-  p.variant = opts.workload == "ticket_queue"
-                  ? workloads::QueueVariant::kLock
-                  : queueVariantFor(adapter);
-  p.capacity = opts.queueCapacity;
-  p.window = windowOf(opts);
-  p.backoff = sync::BackoffPolicy::fixed(opts.backoffCycles);
-  arch::System sys(cfg);
-  const auto r = workloads::runQueue(sys, p);
-
+void printQueue(const Options& opts, const exp::RunSpec& spec,
+                const exp::SweepResult& res, std::ostream& out) {
+  const auto& p = std::get<workloads::QueueParams>(spec.params);
   maybeBanner(out, opts, "colibri-sim: " + opts.workload + " (" +
-                              std::string(workloads::toString(p.variant)) +
-                              ") on " + opts.adapter);
-  report::Table table(rateHeaders());
-  table.addRow(rateRow(opts, r.rate, r.fifoVerified));
+                             std::string(workloads::toString(p.variant)) +
+                             ") on " + opts.adapter);
+  auto headers = rateHeaders();
+  auto row = rateRow(opts, res);
+  appendAggregate(headers, row, opts, res);
+  report::Table table(headers);
+  table.addRow(row);
   emit(table, out, opts.csv);
-  return r.fifoVerified ? 0 : 1;
 }
 
-int runProdCons(const Options& opts, const AdapterSpec& adapter,
-                const arch::SystemConfig& cfg, std::ostream& out,
-                std::ostream& err) {
-  if (opts.producers + opts.consumers > opts.cores) {
-    err << "colibri-sim: --producers + --consumers (" << opts.producers
-        << " + " << opts.consumers << ") exceeds --cores (" << opts.cores
-        << ")\n";
-    return 2;
-  }
-  workloads::ProdConsParams p;
-  p.producers = opts.producers;
-  p.consumers = opts.consumers;
-  p.useMwait = adapter.waitCapable;
-  p.window = windowOf(opts);
-  p.backoff = sync::BackoffPolicy::fixed(opts.backoffCycles);
-  arch::System sys(cfg);
-  const auto r = workloads::runProdCons(sys, p);
-
+void printProdCons(const Options& opts, const exp::RunSpec& spec,
+                   const exp::SweepResult& res, std::ostream& out) {
+  const auto& p = std::get<workloads::ProdConsParams>(spec.params);
+  const auto& r = res.primary();
   maybeBanner(out, opts, "colibri-sim: prodcons (" +
-                              std::string(p.useMwait ? "Mwait" : "polling") +
-                              " consumers) on " + opts.adapter);
-  report::Table table({"adapter", "producers", "consumers", "items/cycle",
-                       "items", "sleep%", "reqs/item", "verified"});
-  table.addRow({opts.adapter, std::to_string(opts.producers),
-                std::to_string(opts.consumers),
-                report::fmt(r.itemsPerCycle, 4),
-                std::to_string(r.itemsConsumed),
-                report::fmtPercent(100.0 * r.consumerSleepFraction),
-                report::fmt(r.consumerRequestsPerItem, 2),
-                r.allItemsSeen ? "yes" : "NO"});
+                             std::string(p.useMwait ? "Mwait" : "polling") +
+                             " consumers) on " + opts.adapter);
+  std::vector<std::string> headers{"adapter",     "producers", "consumers",
+                                   "items/cycle", "items",     "sleep%",
+                                   "reqs/item",   "verified"};
+  std::vector<std::string> row{
+      opts.adapter,
+      std::to_string(opts.producers),
+      std::to_string(opts.consumers),
+      report::fmt(res.opsPerCycle.mean, 4),
+      std::to_string(r.itemsConsumed),
+      report::fmtPercent(100.0 * r.consumerSleepFraction),
+      report::fmt(r.consumerRequestsPerItem, 2),
+      res.allVerified ? "yes" : "NO"};
+  appendAggregate(headers, row, opts, res);
+  report::Table table(headers);
+  table.addRow(row);
   emit(table, out, opts.csv);
-  return r.allItemsSeen ? 0 : 1;
 }
 
-int runMatmul(const Options& opts, const arch::SystemConfig& cfg,
-              std::ostream& out) {
-  workloads::MatmulParams p;
-  p.n = opts.matmulN;
-  p.workers.resize(opts.cores);
-  std::iota(p.workers.begin(), p.workers.end(), 0);
-  arch::System sys(cfg);
-  const auto r = workloads::runMatmul(sys, p);
-
+void printMatmul(const Options& opts, const exp::SweepResult& res,
+                 std::ostream& out) {
+  const auto& r = res.primary();
   maybeBanner(out, opts,
               "colibri-sim: matmul (n=" + std::to_string(opts.matmulN) +
                   ") on " + opts.adapter);
-  report::Table table(
-      {"adapter", "workers", "n", "cycles", "macs", "macs/cycle", "verified"});
-  table.addRow({opts.adapter, std::to_string(opts.cores),
-                std::to_string(opts.matmulN), std::to_string(r.duration),
-                std::to_string(r.macs),
-                report::fmt(r.duration > 0
-                                ? static_cast<double>(r.macs) /
-                                      static_cast<double>(r.duration)
-                                : 0.0,
-                            2),
-                r.verified ? "yes" : "NO"});
+  std::vector<std::string> headers{"adapter", "workers",    "n",
+                                   "cycles",  "macs",       "macs/cycle",
+                                   "verified"};
+  std::vector<std::string> row{opts.adapter,
+                               std::to_string(opts.cores),
+                               std::to_string(opts.matmulN),
+                               std::to_string(r.duration),
+                               std::to_string(r.macs),
+                               report::fmt(res.opsPerCycle.mean, 2),
+                               res.allVerified ? "yes" : "NO"};
+  appendAggregate(headers, row, opts, res);
+  report::Table table(headers);
+  table.addRow(row);
   emit(table, out, opts.csv);
-  return r.verified ? 0 : 1;
 }
 
 }  // namespace
@@ -192,19 +208,15 @@ int runMatmul(const Options& opts, const arch::SystemConfig& cfg,
 std::optional<std::string> buildConfig(const Options& opts,
                                        const AdapterSpec& adapter,
                                        arch::SystemConfig& cfg) {
-  cfg = arch::SystemConfig{};
-  cfg.numCores = opts.cores;
-  cfg.coresPerTile = opts.coresPerTile;
-  cfg.tilesPerGroup = opts.tilesPerGroup;
-  cfg.banksPerTile = opts.banksPerTile;
-  cfg.wordsPerBank = opts.wordsPerBank;
-  cfg.adapter = adapter.kind;
-  cfg.colibriQueuesPerController = opts.colibriQueues;
-  cfg.seed = opts.seed;
-  const std::uint32_t capacity =
-      (adapter.idealCapacity || opts.waitCapacity == 0) ? opts.cores
-                                                        : opts.waitCapacity;
-  cfg.lrscWaitQueueCapacity = capacity;
+  arch::SystemConfig base;
+  base.numCores = opts.cores;
+  base.coresPerTile = opts.coresPerTile;
+  base.tilesPerGroup = opts.tilesPerGroup;
+  base.banksPerTile = opts.banksPerTile;
+  base.wordsPerBank = opts.wordsPerBank;
+  base.colibriQueuesPerController = opts.colibriQueues;
+  base.seed = opts.seed;
+  cfg = exp::configFor(adapter, opts.waitCapacity, base);
 
   if (opts.cores == 0 || opts.coresPerTile == 0 || opts.tilesPerGroup == 0 ||
       opts.banksPerTile == 0 || opts.wordsPerBank == 0) {
@@ -280,20 +292,48 @@ int runScenario(const Options& opts, std::ostream& out, std::ostream& err) {
     err << "colibri-sim: --producers and --consumers must be >= 1\n";
     return 2;
   }
+  if (opts.workload == "prodcons" &&
+      opts.producers + opts.consumers > opts.cores) {
+    err << "colibri-sim: --producers + --consumers (" << opts.producers
+        << " + " << opts.consumers << ") exceeds --cores (" << opts.cores
+        << ")\n";
+    return 2;
+  }
+  if (opts.reps == 0) {
+    err << "colibri-sim: --reps must be >= 1\n";
+    return 2;
+  }
+  if (opts.csv && opts.json) {
+    err << "colibri-sim: choose one of --csv and --json\n";
+    return 2;
+  }
+
+  auto spec = buildSpec(opts, *adapter, cfg);
+  if (!spec) {
+    err << "colibri-sim: workload '" << opts.workload
+        << "' is registered but has no runner (internal error)\n";
+    return 1;
+  }
 
   try {
-    if (opts.workload == "histogram") {
-      return runHistogram(opts, *adapter, cfg, out);
+    const std::vector<exp::RunSpec> specs = {*std::move(spec)};
+    exp::SweepRunner runner(opts.threads);
+    const auto results = runner.run(specs);
+    const auto& res = results.front();
+
+    if (opts.json) {
+      exp::writeJson(out, specs, results);
+    } else if (opts.workload == "histogram") {
+      printHistogram(opts, specs.front(), res, out);
+    } else if (opts.workload == "msqueue" ||
+               opts.workload == "ticket_queue") {
+      printQueue(opts, specs.front(), res, out);
+    } else if (opts.workload == "prodcons") {
+      printProdCons(opts, specs.front(), res, out);
+    } else {
+      printMatmul(opts, res, out);
     }
-    if (opts.workload == "msqueue" || opts.workload == "ticket_queue") {
-      return runQueue(opts, *adapter, cfg, out);
-    }
-    if (opts.workload == "prodcons") {
-      return runProdCons(opts, *adapter, cfg, out, err);
-    }
-    if (opts.workload == "matmul") {
-      return runMatmul(opts, cfg, out);
-    }
+    return res.allVerified ? 0 : 1;
   } catch (const sim::InvariantViolation& e) {
     err << "colibri-sim: simulation invariant violated: " << e.what() << "\n";
     return 1;
@@ -301,9 +341,6 @@ int runScenario(const Options& opts, std::ostream& out, std::ostream& err) {
     err << "colibri-sim: error: " << e.what() << "\n";
     return 1;
   }
-  err << "colibri-sim: workload '" << opts.workload
-      << "' is registered but has no runner (internal error)\n";
-  return 1;
 }
 
 int runMain(const std::vector<std::string>& args, std::ostream& out,

@@ -88,8 +88,18 @@ const std::map<std::string, Flag>& flagTable() {
       {"--matmul-n",
        numberFlag("matmul square dimension (default 32)", &Options::matmulN)},
       {"--seed", numberFlag("RNG seed", &Options::seed)},
+      {"--reps",
+       numberFlag("independent repetitions (derived seeds); > 1 reports "
+                  "mean/stddev (default 1)",
+                  &Options::reps)},
+      {"--threads",
+       numberFlag("sweep worker threads; 0 = all hardware threads",
+                  &Options::threads)},
       {"--csv", boolFlag("emit CSV instead of an aligned table",
                          &Options::csv)},
+      {"--json", boolFlag("emit the full result (per-rep + aggregate) as "
+                          "JSON",
+                          &Options::json)},
       {"--list", boolFlag("list every adapter x workload scenario and exit",
                           &Options::listScenarios)},
       {"--help", boolFlag("show this help", &Options::help)},
@@ -155,6 +165,8 @@ void printUsage(std::ostream& os) {
   }
   os << "\nexamples:\n"
         "  colibri-sim --adapter colibri --workload histogram --cores 256\n"
+        "  colibri-sim --adapter colibri --workload histogram --json "
+        "--reps 3\n"
         "  colibri-sim --adapter lrscwait --wait-capacity 128 --workload "
         "msqueue\n"
         "  colibri-sim --adapter lrsc_single --workload prodcons "

@@ -47,8 +47,16 @@ struct Options {
 
   std::uint64_t seed = 0xC011B21;
 
+  // --- Experiment execution -----------------------------------------------
+  /// Independent repetitions with derived seeds; > 1 reports aggregate
+  /// mean/stddev across reps.
+  std::uint32_t reps = 1;
+  /// exp::SweepRunner pool size; 0 = hardware_concurrency.
+  std::uint32_t threads = 0;
+
   // --- Output / control ---------------------------------------------------
   bool csv = false;
+  bool json = false;
   bool listScenarios = false;
   bool help = false;
 };

@@ -1,71 +1,23 @@
-// Scenario registry: the cross product of every named adapter and every
-// named workload, with the mapping rules that make each pair runnable
-// (e.g. the histogram falls back from LRwait/SCwait to plain AMO adds on
-// an AMO-only system; Mwait-based waiting degrades to polling on adapters
-// without wait support).
-//
-// The registry is the single source of truth shared by the driver, the
-// --list output, and the CLI tests.
+// Compatibility shim: the scenario registry was promoted to exp/ (PR 2)
+// so benches and tests can name scenarios without linking the CLI. The
+// cli:: aliases keep existing includes and qualified names working.
 #pragma once
 
-#include <optional>
-#include <string>
-#include <vector>
-
-#include "arch/config.hpp"
+#include "exp/scenario.hpp"
 
 namespace colibri::cli {
 
-/// A named adapter configuration (AdapterKind plus the config knobs that
-/// distinguish e.g. LRSCwait_q from LRSCwait_ideal).
-struct AdapterSpec {
-  std::string name;
-  arch::AdapterKind kind;
-  /// True for adapters that implement LRwait/SCwait and Mwait
-  /// (reservation-queue waiting); false for retry-based LR/SC and AMO.
-  bool waitCapable = false;
-  /// True when --wait-capacity should be forced to numCores ("ideal").
-  bool idealCapacity = false;
-  std::string description;
-};
+using exp::AdapterSpec;
+using exp::Scenario;
+using exp::WorkloadSpec;
 
-struct WorkloadSpec {
-  std::string name;
-  std::string description;
-};
-
-/// One adapter x workload combination.
-struct Scenario {
-  AdapterSpec adapter;
-  WorkloadSpec workload;
-  /// False for combinations that cannot run. Currently only
-  /// (amo, prodcons): the pipeline's ticket RMWs need LR/SC at minimum,
-  /// and the AMO-only adapter rejects reservations outright. Queue
-  /// workloads survive on amo by running lock-based (amoswap spinlock).
-  bool supported = true;
-  /// For unsupported pairs: the human-readable reason (shown by the CLI).
-  std::string whyUnsupported;
-};
-
-/// All named adapters, in presentation order.
-[[nodiscard]] const std::vector<AdapterSpec>& adapters();
-
-/// All named workloads, in presentation order.
-[[nodiscard]] const std::vector<WorkloadSpec>& workloads();
-
-/// The full adapter x workload cross product (adapters-major order).
-[[nodiscard]] std::vector<Scenario> allScenarios();
-
-/// Look up by name; nullopt if unknown.
-[[nodiscard]] std::optional<AdapterSpec> findAdapter(const std::string& name);
-[[nodiscard]] std::optional<WorkloadSpec> findWorkload(const std::string& name);
-/// The registry entry for one (adapter, workload) pair; nullopt if either
-/// name is unknown.
-[[nodiscard]] std::optional<Scenario> findScenario(const std::string& adapter,
-                                                   const std::string& workload);
-
-/// Comma-separated name lists for error messages.
-[[nodiscard]] std::string adapterNameList();
-[[nodiscard]] std::string workloadNameList();
+using exp::adapterNameList;
+using exp::adapters;
+using exp::allScenarios;
+using exp::findAdapter;
+using exp::findScenario;
+using exp::findWorkload;
+using exp::workloadNameList;
+using exp::workloads;
 
 }  // namespace colibri::cli

@@ -1,0 +1,119 @@
+#include "exp/json.hpp"
+
+#include <ostream>
+
+#include "report/json.hpp"
+#include "sim/check.hpp"
+
+namespace colibri::exp {
+
+namespace {
+
+void writeStats(report::JsonWriter& w, const char* name, const Stats& s) {
+  w.key(name).beginObject();
+  w.kv("mean", s.mean)
+      .kv("stddev", s.stddev)
+      .kv("min", s.min)
+      .kv("max", s.max)
+      .kv("n", static_cast<std::uint64_t>(s.n));
+  w.endObject();
+}
+
+void writeConfig(report::JsonWriter& w, const arch::SystemConfig& cfg) {
+  w.key("config").beginObject();
+  w.kv("adapter", arch::toString(cfg.adapter))
+      .kv("cores", cfg.numCores)
+      .kv("coresPerTile", cfg.coresPerTile)
+      .kv("tilesPerGroup", cfg.tilesPerGroup)
+      .kv("banksPerTile", cfg.banksPerTile)
+      .kv("wordsPerBank", cfg.wordsPerBank)
+      .kv("waitCapacity", cfg.lrscWaitQueueCapacity)
+      .kv("colibriQueues", cfg.colibriQueuesPerController);
+  w.endObject();
+}
+
+void writeCounters(report::JsonWriter& w,
+                   const workloads::SystemCounters& c) {
+  w.key("counters").beginObject();
+  w.kv("instructions", c.instructions)
+      .kv("computeCycles", c.computeCycles)
+      .kv("sleepCycles", c.sleepCycles)
+      .kv("stallCycles", c.stallCycles)
+      .kv("bankAccesses", c.bankAccesses)
+      .kv("windowCycles", static_cast<std::uint64_t>(c.windowCycles))
+      .kv("activeCores", c.activeCores);
+  w.key("netMessages").beginArray();
+  for (const auto m : c.netMessages) {
+    w.value(m);
+  }
+  w.endArray();
+  w.endObject();
+}
+
+void writeRep(report::JsonWriter& w, const RunResult& r) {
+  w.beginObject();
+  w.kv("seed", r.seed)
+      .kv("opsPerCycle", r.rate.opsPerCycle)
+      .kv("opsInWindow", r.rate.opsInWindow)
+      .kv("fairnessJain", r.rate.fairnessJain)
+      .kv("perCoreMinRate", r.rate.perCoreMinRate)
+      .kv("perCoreMaxRate", r.rate.perCoreMaxRate)
+      .kv("verified", r.verified)
+      .kv("tileAreaKge", r.tileAreaKge)
+      .kv("energyPerOpPj", r.energyPerOpPj)
+      .kv("averagePowerMw", r.averagePowerMw);
+  if (r.workload == "matmul" || r.workload == "interference") {
+    w.kv("duration", static_cast<std::uint64_t>(r.duration))
+        .kv("macs", r.macs);
+  }
+  if (r.workload == "interference") {
+    w.kv("pollerUpdates", r.pollerUpdates);
+  }
+  if (r.workload == "prodcons") {
+    w.kv("itemsConsumed", r.itemsConsumed)
+        .kv("consumerSleepFraction", r.consumerSleepFraction)
+        .kv("consumerRequestsPerItem", r.consumerRequestsPerItem);
+  }
+  writeCounters(w, r.rate.counters);
+  w.endObject();
+}
+
+}  // namespace
+
+void writeJson(std::ostream& os, const std::vector<RunSpec>& specs,
+               const std::vector<SweepResult>& results) {
+  COLIBRI_CHECK(specs.size() == results.size());
+  report::JsonWriter w(os);
+  w.beginObject();
+  w.kv("schema", "colibri-exp-v1");
+  w.key("runs").beginArray();
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const auto& spec = specs[i];
+    const auto& res = results[i];
+    w.beginObject();
+    w.kv("label", spec.label)
+        .kv("workload", workloadNameFor(spec))
+        .kv("seed", spec.seed)
+        .kv("repetitions",
+            static_cast<std::uint64_t>(res.reps.size()))
+        .kv("warmup", static_cast<std::uint64_t>(spec.window.warmup))
+        .kv("measure", static_cast<std::uint64_t>(spec.window.measure));
+    writeConfig(w, spec.config);
+    w.key("reps").beginArray();
+    for (const auto& rep : res.reps) {
+      writeRep(w, rep);
+    }
+    w.endArray();
+    w.key("aggregate").beginObject();
+    writeStats(w, "opsPerCycle", res.opsPerCycle);
+    writeStats(w, "energyPerOpPj", res.energyPerOpPj);
+    w.kv("allVerified", res.allVerified);
+    w.endObject();
+    w.endObject();
+  }
+  w.endArray();
+  w.endObject();
+  os << '\n';
+}
+
+}  // namespace colibri::exp

@@ -1,0 +1,20 @@
+// JSON serialization of sweep results (report::JsonWriter does the
+// syntax; this file owns the schema).
+//
+// Schema (colibri-exp-v1): a top-level object with a "runs" array, one
+// entry per submitted RunSpec, each carrying the config summary, every
+// repetition's measurements, and the aggregate stats across reps.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "exp/sweep.hpp"
+
+namespace colibri::exp {
+
+/// Serialize one sweep: specs[i] produced results[i] (sizes must match).
+void writeJson(std::ostream& os, const std::vector<RunSpec>& specs,
+               const std::vector<SweepResult>& results);
+
+}  // namespace colibri::exp

@@ -1,0 +1,157 @@
+#include "exp/run.hpp"
+
+#include "arch/system.hpp"
+#include "model/area.hpp"
+#include "sim/random.hpp"
+
+namespace colibri::exp {
+
+namespace {
+
+/// Per-workload dispatch: run on the (already constructed) system and
+/// fill the workload-dependent part of the RunResult.
+struct Dispatcher {
+  arch::System& sys;
+  RunResult& out;
+
+  void operator()(const workloads::HistogramParams& p) const {
+    const auto r = workloads::runHistogram(sys, p);
+    out.rate = r.rate;
+    out.verified = r.sumVerified;
+  }
+
+  void operator()(const workloads::QueueParams& p) const {
+    const auto r = workloads::runQueue(sys, p);
+    out.rate = r.rate;
+    out.verified = r.fifoVerified;
+  }
+
+  void operator()(const workloads::ProdConsParams& p) const {
+    const auto r = workloads::runProdCons(sys, p);
+    out.rate.opsPerCycle = r.itemsPerCycle;
+    out.rate.opsInWindow = r.itemsInWindow;
+    out.rate.counters = r.counters;
+    out.verified = r.allItemsSeen;
+    out.itemsConsumed = r.itemsConsumed;
+    out.consumerSleepFraction = r.consumerSleepFraction;
+    out.consumerRequestsPerItem = r.consumerRequestsPerItem;
+  }
+
+  void operator()(const workloads::MatmulParams& p) const {
+    const auto r = workloads::runMatmul(sys, p);
+    fillMatmul(r, static_cast<std::uint32_t>(p.workers.size()));
+  }
+
+  void operator()(const workloads::InterferenceParams& p) const {
+    const auto r = workloads::runInterference(sys, p);
+    fillMatmul(r.matmul, static_cast<std::uint32_t>(p.matmul.workers.size() +
+                                                    p.pollers.size()));
+    out.pollerUpdates = r.pollerUpdates;
+  }
+
+ private:
+  /// Matmul runs to completion instead of over a window; treat the whole
+  /// run as the window (stats were never reset) and report MACs as ops.
+  void fillMatmul(const workloads::MatmulResult& r,
+                  std::uint32_t participants) const {
+    out.duration = r.duration;
+    out.macs = r.macs;
+    out.verified = r.verified;
+    out.rate.counters = workloads::snapshotCounters(sys, r.duration,
+                                                    participants);
+    out.rate.opsInWindow = r.macs;
+    out.rate.opsPerCycle = r.duration > 0
+                               ? static_cast<double>(r.macs) /
+                                     static_cast<double>(r.duration)
+                               : 0.0;
+  }
+};
+
+/// The authoritative window from the spec, applied to the alternatives
+/// that have one.
+WorkloadParams withWindow(WorkloadParams params,
+                          const workloads::MeasureWindow& window) {
+  std::visit(
+      [&](auto& p) {
+        using T = std::decay_t<decltype(p)>;
+        if constexpr (std::is_same_v<T, workloads::HistogramParams> ||
+                      std::is_same_v<T, workloads::QueueParams> ||
+                      std::is_same_v<T, workloads::ProdConsParams>) {
+          p.window = window;
+        }
+      },
+      params);
+  return params;
+}
+
+double tileAreaFor(const arch::SystemConfig& cfg) {
+  switch (cfg.adapter) {
+    case arch::AdapterKind::kLrscWait:
+      return model::lrscWaitTileArea(cfg, cfg.lrscWaitQueueCapacity);
+    case arch::AdapterKind::kColibri:
+      return model::colibriTileArea(cfg, cfg.colibriQueuesPerController);
+    default:
+      // The AMO unit and plain LR/SC slots ship with the baseline tile.
+      return model::AreaParams{}.baseTileKge;
+  }
+}
+
+}  // namespace
+
+const char* workloadNameOf(const WorkloadParams& params) {
+  struct Namer {
+    const char* operator()(const workloads::HistogramParams&) const {
+      return "histogram";
+    }
+    const char* operator()(const workloads::QueueParams&) const {
+      return "msqueue";
+    }
+    const char* operator()(const workloads::ProdConsParams&) const {
+      return "prodcons";
+    }
+    const char* operator()(const workloads::MatmulParams&) const {
+      return "matmul";
+    }
+    const char* operator()(const workloads::InterferenceParams&) const {
+      return "interference";
+    }
+  };
+  return std::visit(Namer{}, params);
+}
+
+std::string workloadNameFor(const RunSpec& spec) {
+  return spec.workload.empty() ? workloadNameOf(spec.params) : spec.workload;
+}
+
+std::uint64_t repSeed(std::uint64_t base, std::uint32_t rep) {
+  if (rep == 0) {
+    return base;  // single-rep runs are bit-identical to direct runs
+  }
+  std::uint64_t sm = base ^ (0x9e3779b97f4a7c15ULL * rep);
+  return sim::splitmix64(sm);
+}
+
+RunResult runOne(const RunSpec& spec, std::uint32_t rep) {
+  arch::SystemConfig cfg = spec.config;
+  cfg.seed = repSeed(spec.seed, rep);
+
+  RunResult out;
+  out.label = spec.label;
+  out.workload = workloadNameFor(spec);
+  out.seed = cfg.seed;
+
+  const WorkloadParams params = withWindow(spec.params, spec.window);
+  arch::System sys(cfg);
+  std::visit(Dispatcher{sys, out}, params);
+
+  out.tileAreaKge = tileAreaFor(cfg);
+  out.energy = model::chargeEnergy(out.rate.counters);
+  out.energyPerOpPj = model::energyPerOp(out.rate.counters,
+                                         out.rate.opsInWindow);
+  out.averagePowerMw = model::averagePowerMw(out.rate.counters);
+  return out;
+}
+
+RunResult runOne(const RunSpec& spec) { return runOne(spec, 0); }
+
+}  // namespace colibri::exp

@@ -1,6 +1,6 @@
-#include "cli/scenario.hpp"
+#include "exp/scenario.hpp"
 
-namespace colibri::cli {
+namespace colibri::exp {
 
 const std::vector<AdapterSpec>& adapters() {
   static const std::vector<AdapterSpec> kAdapters = {
@@ -103,4 +103,34 @@ std::string joinNames(const Specs& specs) {
 std::string adapterNameList() { return joinNames(adapters()); }
 std::string workloadNameList() { return joinNames(workloads()); }
 
-}  // namespace colibri::cli
+workloads::HistogramMode histogramModeFor(const AdapterSpec& adapter) {
+  if (adapter.waitCapable) {
+    return workloads::HistogramMode::kLrscWait;
+  }
+  if (adapter.kind == arch::AdapterKind::kAmoOnly) {
+    return workloads::HistogramMode::kAmoAdd;
+  }
+  return workloads::HistogramMode::kLrsc;
+}
+
+workloads::QueueVariant queueVariantFor(const AdapterSpec& adapter) {
+  if (adapter.waitCapable) {
+    return workloads::QueueVariant::kLrscWait;
+  }
+  if (adapter.kind == arch::AdapterKind::kAmoOnly) {
+    return workloads::QueueVariant::kLock;
+  }
+  return workloads::QueueVariant::kLrsc;
+}
+
+arch::SystemConfig configFor(const AdapterSpec& adapter,
+                             std::uint32_t waitCapacity,
+                             arch::SystemConfig base) {
+  base.adapter = adapter.kind;
+  base.lrscWaitQueueCapacity = (adapter.idealCapacity || waitCapacity == 0)
+                                   ? base.numCores
+                                   : waitCapacity;
+  return base;
+}
+
+}  // namespace colibri::exp

@@ -1,0 +1,127 @@
+#include "exp/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <exception>
+#include <thread>
+
+namespace colibri::exp {
+
+Stats Stats::of(const std::vector<double>& xs) {
+  Stats s;
+  s.n = xs.size();
+  if (xs.empty()) {
+    return s;
+  }
+  s.min = xs.front();
+  s.max = xs.front();
+  double sum = 0.0;
+  for (const double x : xs) {
+    sum += x;
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = sum / static_cast<double>(xs.size());
+  if (xs.size() > 1) {
+    double sq = 0.0;
+    for (const double x : xs) {
+      sq += (x - s.mean) * (x - s.mean);
+    }
+    s.stddev = std::sqrt(sq / static_cast<double>(xs.size() - 1));
+  }
+  return s;
+}
+
+SweepRunner::SweepRunner(unsigned threads) : threads_(threads) {
+  if (threads_ == 0) {
+    threads_ = std::max(1u, std::thread::hardware_concurrency());
+  }
+}
+
+void SweepRunner::dispatch(std::size_t jobs,
+                           const std::function<void(std::size_t)>& body) {
+  if (jobs == 0) {
+    return;
+  }
+  std::vector<std::exception_ptr> errors(jobs);
+  const auto runJob = [&](std::size_t i) {
+    try {
+      body(i);
+    } catch (...) {
+      errors[i] = std::current_exception();
+    }
+  };
+
+  const unsigned workers =
+      static_cast<unsigned>(std::min<std::size_t>(threads_, jobs));
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < jobs; ++i) {
+      runJob(i);
+    }
+  } else {
+    // Work stealing over a shared index: each worker claims the next
+    // unstarted job, so long points don't serialize behind short ones.
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+      pool.emplace_back([&] {
+        for (std::size_t i = next.fetch_add(1); i < jobs;
+             i = next.fetch_add(1)) {
+          runJob(i);
+        }
+      });
+    }
+    for (auto& t : pool) {
+      t.join();
+    }
+  }
+
+  for (auto& e : errors) {
+    if (e) {
+      std::rethrow_exception(e);
+    }
+  }
+}
+
+std::vector<SweepResult> SweepRunner::run(const std::vector<RunSpec>& specs) {
+  // Flatten (spec, rep) pairs so repetitions load-balance like any other
+  // job; each writes into its pre-sized slot (order preservation).
+  struct Job {
+    std::size_t spec;
+    std::uint32_t rep;
+  };
+  std::vector<Job> jobs;
+  std::vector<SweepResult> results(specs.size());
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    const std::uint32_t reps = std::max(1u, specs[s].repetitions);
+    results[s].reps.resize(reps);
+    for (std::uint32_t r = 0; r < reps; ++r) {
+      jobs.push_back({s, r});
+    }
+  }
+
+  dispatch(jobs.size(), [&](std::size_t i) {
+    results[jobs[i].spec].reps[jobs[i].rep] =
+        runOne(specs[jobs[i].spec], jobs[i].rep);
+  });
+
+  for (auto& res : results) {
+    std::vector<double> rates;
+    std::vector<double> energies;
+    rates.reserve(res.reps.size());
+    energies.reserve(res.reps.size());
+    res.allVerified = true;
+    for (const auto& rep : res.reps) {
+      rates.push_back(rep.rate.opsPerCycle);
+      energies.push_back(rep.energyPerOpPj);
+      res.allVerified = res.allVerified && rep.verified;
+    }
+    res.opsPerCycle = Stats::of(rates);
+    res.energyPerOpPj = Stats::of(energies);
+  }
+  return results;
+}
+
+}  // namespace colibri::exp

@@ -1,0 +1,80 @@
+// SweepRunner: bounded parallel execution of experiment sweeps.
+//
+// Simulations are independent and CPU-bound, so sweeps parallelize
+// perfectly — but one OS thread per point (the old bench::runParallel's
+// unbounded std::async) oversubscribes the host as soon as a sweep has
+// more points than cores (Fig. 3 alone has 66). SweepRunner caps
+// concurrency at a fixed pool size (default hardware_concurrency):
+// workers repeatedly steal the next unclaimed job from a shared index, so
+// the pool stays busy regardless of how unevenly the points are sized.
+//
+// Results are deterministic and order-preserving: each job writes into
+// its own pre-allocated slot, so the output order matches submission
+// order and is bit-identical for any thread count (each simulation owns a
+// fresh System seeded from its spec alone).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "exp/run.hpp"
+
+namespace colibri::exp {
+
+/// Aggregate statistics across repetitions of one metric.
+struct Stats {
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample stddev (n-1); 0 for n <= 1
+  double min = 0.0;
+  double max = 0.0;
+  std::size_t n = 0;
+
+  [[nodiscard]] static Stats of(const std::vector<double>& xs);
+};
+
+/// The outcome of one submitted RunSpec: every repetition's RunResult (in
+/// repetition order) plus aggregate stats across them.
+struct SweepResult {
+  std::vector<RunResult> reps;
+  Stats opsPerCycle;
+  Stats energyPerOpPj;
+  bool allVerified = false;
+
+  /// Repetition 0 (the base seed — what a direct single run produces).
+  [[nodiscard]] const RunResult& primary() const { return reps.front(); }
+};
+
+class SweepRunner {
+ public:
+  /// `threads` == 0 picks std::thread::hardware_concurrency().
+  explicit SweepRunner(unsigned threads = 0);
+
+  [[nodiscard]] unsigned threads() const { return threads_; }
+
+  /// Run every spec (times its repetitions) through the bounded pool.
+  /// results[i] corresponds to specs[i]; the first job exception (in
+  /// submission order) is rethrown after the batch drains.
+  [[nodiscard]] std::vector<SweepResult> run(
+      const std::vector<RunSpec>& specs);
+
+  /// Bounded, order-preserving parallel map for jobs that are not
+  /// expressible as RunSpecs (custom kernels, model-only computations).
+  /// T must be default-constructible.
+  template <typename T>
+  [[nodiscard]] std::vector<T> map(std::vector<std::function<T()>> jobs) {
+    std::vector<T> out(jobs.size());
+    dispatch(jobs.size(), [&](std::size_t i) { out[i] = jobs[i](); });
+    return out;
+  }
+
+ private:
+  /// Run body(0..jobs-1) on at most threads() workers; rethrows the first
+  /// (submission-order) exception after all workers join.
+  void dispatch(std::size_t jobs,
+                const std::function<void(std::size_t)>& body);
+
+  unsigned threads_;
+};
+
+}  // namespace colibri::exp

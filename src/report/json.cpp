@@ -1,0 +1,176 @@
+#include "report/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <ostream>
+
+#include "sim/check.hpp"
+
+namespace colibri::report {
+
+std::string jsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+JsonWriter::JsonWriter(std::ostream& os, int indentWidth)
+    : os_(os), indentWidth_(indentWidth) {}
+
+void JsonWriter::newline() {
+  os_ << '\n';
+  for (std::size_t i = 0; i < stack_.size() * indentWidth_; ++i) {
+    os_ << ' ';
+  }
+}
+
+void JsonWriter::beforeValue() {
+  if (pendingKey_) {
+    pendingKey_ = false;
+    return;  // the key already emitted the comma/indent
+  }
+  if (!stack_.empty()) {
+    COLIBRI_CHECK_MSG(stack_.back().isArray,
+                      "JsonWriter: object member without a key");
+    if (!stack_.back().empty) {
+      os_ << ',';
+    }
+    stack_.back().empty = false;
+    newline();
+  } else {
+    COLIBRI_CHECK_MSG(!started_, "JsonWriter: multiple top-level values");
+  }
+  started_ = true;
+}
+
+void JsonWriter::beforeContainerEnd() {
+  COLIBRI_CHECK_MSG(!pendingKey_, "JsonWriter: dangling key");
+  COLIBRI_CHECK_MSG(!stack_.empty(), "JsonWriter: unbalanced end");
+  const bool wasEmpty = stack_.back().empty;
+  stack_.pop_back();
+  if (!wasEmpty) {
+    newline();
+  }
+}
+
+JsonWriter& JsonWriter::beginObject() {
+  beforeValue();
+  os_ << '{';
+  stack_.push_back({/*isArray=*/false, /*empty=*/true});
+  return *this;
+}
+
+JsonWriter& JsonWriter::endObject() {
+  beforeContainerEnd();
+  os_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::beginArray() {
+  beforeValue();
+  os_ << '[';
+  stack_.push_back({/*isArray=*/true, /*empty=*/true});
+  return *this;
+}
+
+JsonWriter& JsonWriter::endArray() {
+  beforeContainerEnd();
+  os_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  COLIBRI_CHECK_MSG(!stack_.empty() && !stack_.back().isArray,
+                    "JsonWriter: key outside an object");
+  COLIBRI_CHECK_MSG(!pendingKey_, "JsonWriter: two keys in a row");
+  if (!stack_.back().empty) {
+    os_ << ',';
+  }
+  stack_.back().empty = false;
+  newline();
+  os_ << '"' << jsonEscape(k) << "\": ";
+  pendingKey_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  beforeValue();
+  os_ << '"' << jsonEscape(v) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* v) {
+  return value(std::string_view(v));
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  beforeValue();
+  if (!std::isfinite(v)) {
+    os_ << "null";
+    return *this;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g",
+                std::numeric_limits<double>::max_digits10, v);
+  os_ << buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  beforeValue();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  beforeValue();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint32_t v) {
+  return value(static_cast<std::uint64_t>(v));
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  beforeValue();
+  os_ << (v ? "true" : "false");
+  return *this;
+}
+
+}  // namespace colibri::report

@@ -1,0 +1,71 @@
+// Streaming JSON emission, the third output format beside the aligned
+// table and CSV.
+//
+// JsonWriter is a structural writer: it tracks the object/array nesting,
+// inserts commas and indentation, escapes strings per RFC 8259, and
+// prints doubles round-trippably (max_digits10). Non-finite doubles
+// become null — JSON has no NaN/Inf. The schema of what gets written
+// lives with the callers (exp::writeJson for RunResult batches).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace colibri::report {
+
+/// Escape a string for embedding in a JSON document (no surrounding
+/// quotes).
+[[nodiscard]] std::string jsonEscape(std::string_view s);
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os, int indentWidth = 2);
+
+  JsonWriter& beginObject();
+  JsonWriter& endObject();
+  JsonWriter& beginArray();
+  JsonWriter& endArray();
+
+  /// Emit the key of the next object member. Must be followed by exactly
+  /// one value / beginObject / beginArray.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint32_t v);
+  JsonWriter& value(bool v);
+
+  /// Shorthand: key + value.
+  template <typename T>
+  JsonWriter& kv(std::string_view k, T v) {
+    key(k);
+    return value(v);
+  }
+
+  /// True once every opened object/array has been closed.
+  [[nodiscard]] bool complete() const { return stack_.empty() && started_; }
+
+ private:
+  void beforeValue();
+  void beforeContainerEnd();
+  void newline();
+
+  struct Level {
+    bool isArray = false;
+    bool empty = true;
+  };
+
+  std::ostream& os_;
+  std::vector<Level> stack_;
+  int indentWidth_;
+  bool pendingKey_ = false;
+  bool started_ = false;
+};
+
+}  // namespace colibri::report

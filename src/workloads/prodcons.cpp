@@ -102,6 +102,8 @@ ProdConsResult runProdCons(arch::System& sys, const ProdConsParams& p) {
     consumerIssued += sys.core(c).stats().totalIssued();
   }
   const std::uint64_t windowItems = ctx.consumedInWindow;
+  const SystemCounters windowCounters =
+      snapshotCounters(sys, p.window.measure, p.producers + p.consumers);
 
   sys.run();  // drain: poison pills terminate every consumer
   sys.rethrowFailures();
@@ -109,6 +111,8 @@ ProdConsResult runProdCons(arch::System& sys, const ProdConsParams& p) {
 
   ProdConsResult res;
   res.itemsConsumed = ctx.consumed;
+  res.itemsInWindow = windowItems;
+  res.counters = windowCounters;
   res.allItemsSeen = ctx.consumed == ctx.produced;
   COLIBRI_CHECK_MSG(res.allItemsSeen, "lost items: produced "
                                           << ctx.produced << " consumed "

@@ -33,6 +33,10 @@ struct ProdConsParams {
 struct ProdConsResult {
   double itemsPerCycle = 0.0;
   std::uint64_t itemsConsumed = 0;
+  std::uint64_t itemsInWindow = 0;  ///< consumed inside the window
+  /// System-wide event counters over the measurement window (snapshot
+  /// before the drain phase) — what the energy model charges.
+  SystemCounters counters{};
   /// Fraction of consumer core-cycles spent asleep (Mwait) in the window.
   double consumerSleepFraction = 0.0;
   /// Memory requests issued by consumers per consumed item (polling cost).

@@ -12,6 +12,7 @@
 #include "cli/driver.hpp"
 #include "cli/options.hpp"
 #include "cli/scenario.hpp"
+#include "test_util.hpp"
 
 namespace colibri::cli {
 namespace {
@@ -126,7 +127,8 @@ TEST(CliDriver, HelpMentionsEveryFlagUsedInTests) {
   std::ostringstream out, err;
   EXPECT_EQ(runMain({"--help"}, out, err), 0);
   for (const char* flag : {"--adapter", "--workload", "--cores",
-                           "--wait-capacity", "--measure", "--list"}) {
+                           "--wait-capacity", "--measure", "--list",
+                           "--json", "--reps", "--threads"}) {
     EXPECT_NE(out.str().find(flag), std::string::npos) << flag;
   }
 }
@@ -143,6 +145,75 @@ TEST(CliDriver, SmallHistogramRunPrintsResultRow) {
   EXPECT_NE(out.str().find("ops/cycle"), std::string::npos) << out.str();
   EXPECT_NE(out.str().find("colibri"), std::string::npos);
   EXPECT_NE(out.str().find("yes"), std::string::npos) << "sum not verified";
+}
+
+// Shared small-geometry prefix: 16 cores, short window, fast everywhere.
+std::vector<std::string> smallRun(std::vector<std::string> extra) {
+  std::vector<std::string> args{
+      "--adapter",         "colibri", "--workload",      "histogram",
+      "--cores",           "16",      "--cores-per-tile", "4",
+      "--tiles-per-group", "2",       "--banks-per-tile", "4",
+      "--words-per-bank",  "64",      "--bins",          "4",
+      "--warmup",          "200",     "--measure",       "1000"};
+  args.insert(args.end(), extra.begin(), extra.end());
+  return args;
+}
+
+TEST(CliDriver, JsonRunEmitsValidJsonWithAggregates) {
+  std::ostringstream out, err;
+  const int rc = runMain(smallRun({"--json", "--reps", "3"}), out, err);
+  EXPECT_EQ(rc, 0) << err.str();
+  EXPECT_TRUE(test::isValidJson(out.str())) << out.str();
+  EXPECT_NE(out.str().find("\"aggregate\""), std::string::npos);
+  EXPECT_NE(out.str().find("\"mean\""), std::string::npos);
+  EXPECT_NE(out.str().find("\"repetitions\": 3"), std::string::npos);
+}
+
+TEST(CliDriver, JsonReportsTheRequestedWorkloadName) {
+  // msqueue on amo runs the kLock fallback variant; the document must
+  // still say "msqueue", not "ticket_queue".
+  std::ostringstream out, err;
+  const int rc = runMain(
+      smallRun({"--adapter", "amo", "--workload", "msqueue", "--json"}), out,
+      err);
+  EXPECT_EQ(rc, 0) << err.str();
+  EXPECT_NE(out.str().find("\"workload\": \"msqueue\""), std::string::npos)
+      << out.str();
+}
+
+TEST(CliDriver, RepsTableReportsAggregateColumns) {
+  std::ostringstream out, err;
+  const int rc = runMain(smallRun({"--reps", "3"}), out, err);
+  EXPECT_EQ(rc, 0) << err.str();
+  EXPECT_NE(out.str().find("stddev"), std::string::npos) << out.str();
+  EXPECT_NE(out.str().find("reps"), std::string::npos);
+}
+
+TEST(CliDriver, SingleRepKeepsTheClassicColumns) {
+  std::ostringstream out, err;
+  EXPECT_EQ(runMain(smallRun({}), out, err), 0) << err.str();
+  EXPECT_EQ(out.str().find("stddev"), std::string::npos)
+      << "reps-only columns leaked into single-run output";
+}
+
+TEST(CliDriver, CsvAndJsonAreMutuallyExclusive) {
+  std::ostringstream out, err;
+  EXPECT_EQ(runMain(smallRun({"--csv", "--json"}), out, err), 2);
+  EXPECT_NE(err.str().find("--csv"), std::string::npos) << err.str();
+}
+
+TEST(CliDriver, ZeroRepsIsAUsableError) {
+  std::ostringstream out, err;
+  EXPECT_EQ(runMain(smallRun({"--reps", "0"}), out, err), 2);
+  EXPECT_NE(err.str().find("--reps"), std::string::npos) << err.str();
+}
+
+TEST(CliDriver, ThreadsFlagDoesNotChangeTheResult) {
+  std::ostringstream out1, out2, err;
+  EXPECT_EQ(runMain(smallRun({"--csv", "--threads", "1"}), out1, err), 0);
+  EXPECT_EQ(runMain(smallRun({"--csv", "--threads", "8"}), out2, err), 0);
+  EXPECT_EQ(out1.str(), out2.str())
+      << "results must be thread-count independent";
 }
 
 TEST(CliDriver, UnsupportedScenarioFailsCleanly) {

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cctype>
+#include <cstddef>
 #include <string>
 #include <string_view>
 
@@ -16,6 +17,192 @@ inline std::string paramName(std::string_view s) {
     out.push_back(std::isalnum(static_cast<unsigned char>(c)) ? c : '_');
   }
   return out;
+}
+
+/// Minimal RFC 8259 recursive-descent validator, strict enough to catch
+/// writer bugs (dangling commas, unescaped control chars, bad numbers).
+/// Used by the tests of report::JsonWriter / exp::writeJson.
+class JsonValidator {
+ public:
+  static bool valid(std::string_view s) {
+    JsonValidator v{s};
+    v.ws();
+    return v.value() && (v.ws(), v.pos_ == s.size());
+  }
+
+ private:
+  explicit JsonValidator(std::string_view s) : s_(s) {}
+
+  [[nodiscard]] char peek() const {
+    return pos_ < s_.size() ? s_[pos_] : '\0';
+  }
+  bool eat(char c) {
+    if (peek() != c) {
+      return false;
+    }
+    ++pos_;
+    return true;
+  }
+  void ws() {
+    while (peek() == ' ' || peek() == '\t' || peek() == '\n' ||
+           peek() == '\r') {
+      ++pos_;
+    }
+  }
+  bool literal(std::string_view lit) {
+    if (s_.substr(pos_, lit.size()) != lit) {
+      return false;
+    }
+    pos_ += lit.size();
+    return true;
+  }
+
+  bool value() {
+    switch (peek()) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return string();
+      case 't':
+        return literal("true");
+      case 'f':
+        return literal("false");
+      case 'n':
+        return literal("null");
+      default:
+        return number();
+    }
+  }
+
+  bool object() {
+    if (!eat('{')) {
+      return false;
+    }
+    ws();
+    if (eat('}')) {
+      return true;
+    }
+    while (true) {
+      ws();
+      if (!string()) {
+        return false;
+      }
+      ws();
+      if (!eat(':')) {
+        return false;
+      }
+      ws();
+      if (!value()) {
+        return false;
+      }
+      ws();
+      if (eat('}')) {
+        return true;
+      }
+      if (!eat(',')) {
+        return false;
+      }
+    }
+  }
+
+  bool array() {
+    if (!eat('[')) {
+      return false;
+    }
+    ws();
+    if (eat(']')) {
+      return true;
+    }
+    while (true) {
+      ws();
+      if (!value()) {
+        return false;
+      }
+      ws();
+      if (eat(']')) {
+        return true;
+      }
+      if (!eat(',')) {
+        return false;
+      }
+    }
+  }
+
+  bool string() {
+    if (!eat('"')) {
+      return false;
+    }
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') {
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return false;  // raw control character
+      }
+      if (c == '\\') {
+        if (pos_ >= s_.size()) {
+          return false;
+        }
+        const char e = s_[pos_++];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            if (pos_ >= s_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(s_[pos_++]))) {
+              return false;
+            }
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          return false;
+        }
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    eat('-');
+    if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+      return false;
+    }
+    if (!eat('0')) {
+      while (std::isdigit(static_cast<unsigned char>(peek()))) {
+        ++pos_;
+      }
+    }
+    if (eat('.')) {
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+        return false;
+      }
+      while (std::isdigit(static_cast<unsigned char>(peek()))) {
+        ++pos_;
+      }
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') {
+        ++pos_;
+      }
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+        return false;
+      }
+      while (std::isdigit(static_cast<unsigned char>(peek()))) {
+        ++pos_;
+      }
+    }
+    return pos_ > start;
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+inline bool isValidJson(std::string_view s) {
+  return JsonValidator::valid(s);
 }
 
 }  // namespace colibri::test
