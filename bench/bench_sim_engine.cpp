@@ -4,8 +4,11 @@
 // figure benches can afford.
 #include <benchmark/benchmark.h>
 
+#include <functional>
+
 #include "arch/system.hpp"
 #include "sim/engine.hpp"
+#include "sim/event.hpp"
 #include "sim/random.hpp"
 #include "sim/resource.hpp"
 #include "sync/atomic.hpp"
@@ -30,17 +33,25 @@ void BM_EngineScheduleRun(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineScheduleRun)->Arg(1024)->Arg(65536);
 
+struct CascadeStep {
+  // Self-scheduling functor: the dependent-event (protocol) pattern, in
+  // the allocation-free shape the simulator's own hot path uses.
+  sim::Engine* e;
+  std::uint64_t* depth;
+  void operator()() const {
+    if (++*depth % 4096 != 0) {
+      e->scheduleAfter(1, CascadeStep{e, depth});
+    }
+  }
+};
+static_assert(sim::InlineEvent::fitsInline<CascadeStep>);
+
 void BM_EngineCascade(benchmark::State& state) {
   // Each event schedules the next: the dependent-event (protocol) pattern.
   for (auto _ : state) {
     sim::Engine e;
     std::uint64_t depth = 0;
-    std::function<void()> step = [&] {
-      if (++depth % 4096 != 0) {
-        e.scheduleAfter(1, step);
-      }
-    };
-    e.scheduleAt(0, step);
+    e.scheduleAt(0, CascadeStep{&e, &depth});
     e.run();
     benchmark::DoNotOptimize(depth);
   }
@@ -48,6 +59,59 @@ void BM_EngineCascade(benchmark::State& state) {
                           4096);
 }
 BENCHMARK(BM_EngineCascade);
+
+void BM_EngineMixedHorizon(benchmark::State& state) {
+  // Mixed scheduling horizons: most events land in the calendar's bucket
+  // window (near future), a slice lands tens of thousands of cycles out and
+  // exercises the overflow heap, including the bucket-vs-overflow
+  // tie-breaks as the window sweeps over the far events.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine e;
+    sim::Xoshiro256 rng(0xBEEF);
+    std::uint64_t sum = 0;
+    auto ev = [&sum] { ++sum; };
+    for (std::size_t i = 0; i < n; ++i) {
+      const sim::Cycle when = (i % 8 == 0) ? 20000 + rng.below(50000)
+                                           : rng.below(900);
+      e.scheduleAt(when, ev);
+    }
+    e.run();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EngineMixedHorizon)->Arg(65536);
+
+void BM_InlineEventConstruct(benchmark::State& state) {
+  // Construction+invoke+destroy cost of the event representation for a
+  // capture that overflows std::function's SSO (3 pointers) but fits
+  // InlineEvent's 48-byte buffer.
+  std::uint64_t a = 0, b = 0, c = 0;
+  for (auto _ : state) {
+    sim::InlineEvent ev([&a, &b, &c] { ++a; });
+    ev();
+    benchmark::DoNotOptimize(ev);
+  }
+  benchmark::DoNotOptimize(a + b + c);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_InlineEventConstruct);
+
+void BM_StdFunctionConstruct(benchmark::State& state) {
+  // Baseline for BM_InlineEventConstruct: same capture via std::function
+  // (heap-allocates — what every scheduled event used to pay).
+  std::uint64_t a = 0, b = 0, c = 0;
+  for (auto _ : state) {
+    std::function<void()> ev([&a, &b, &c] { ++a; });
+    ev();
+    benchmark::DoNotOptimize(ev);
+  }
+  benchmark::DoNotOptimize(a + b + c);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_StdFunctionConstruct);
 
 void BM_ResourceAcquire(benchmark::State& state) {
   sim::ThroughputResource r(4);

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Run a google-benchmark binary and archive its JSON output.
+
+Seeds the repo's performance trajectory: CI runs this against
+bench_sim_engine after every build and archives BENCH_engine.json, so
+engine-throughput regressions show up as artifact diffs rather than
+anecdotes.
+
+Usage:
+  scripts/bench_record.py                         # engine bench, defaults
+  scripts/bench_record.py --bench build/bench_sim_engine \\
+      --out BENCH_engine.json --filter 'Engine|Construct' \\
+      -- --benchmark_min_time=0.5
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument(
+        "--bench",
+        default="build/bench_sim_engine",
+        help="benchmark binary to run (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_engine.json",
+        help="output JSON path (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--filter",
+        default="",
+        help="--benchmark_filter regex (default: all benchmarks)",
+    )
+    parser.add_argument(
+        "extra",
+        nargs="*",
+        help="extra arguments passed through to the binary (after --)",
+    )
+    args = parser.parse_args()
+
+    cmd = [args.bench, "--benchmark_format=json"]
+    if args.filter:
+        cmd.append(f"--benchmark_filter={args.filter}")
+    cmd += args.extra
+
+    print(f"bench_record: running {' '.join(cmd)}", file=sys.stderr)
+    try:
+        proc = subprocess.run(cmd, stdout=subprocess.PIPE, text=True)
+    except OSError as e:
+        print(f"bench_record: cannot run {args.bench}: {e}", file=sys.stderr)
+        return 1
+    if proc.returncode != 0:
+        print(f"bench_record: {args.bench} exited {proc.returncode}", file=sys.stderr)
+        return proc.returncode
+
+    try:
+        report = json.loads(proc.stdout)
+    except json.JSONDecodeError as e:
+        print(f"bench_record: benchmark output is not valid JSON: {e}", file=sys.stderr)
+        return 1
+
+    with open(args.out, "w") as f:
+        json.dump(report, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+    rows = [
+        (
+            b["name"],
+            b.get("items_per_second"),
+            b.get("real_time"),
+            b.get("time_unit", "ns"),
+        )
+        for b in report.get("benchmarks", [])
+        if b.get("run_type", "iteration") == "iteration"
+    ]
+    if not rows:
+        print("bench_record: no benchmark results in output", file=sys.stderr)
+        return 1
+
+    width = max(len(name) for name, *_ in rows)
+    print(f"bench_record: wrote {args.out}")
+    for name, items, real_time, unit in rows:
+        rate = f"{items / 1e6:10.2f} M items/s" if items else " " * 21
+        print(f"  {name:<{width}}  {real_time:12.1f} {unit}  {rate}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

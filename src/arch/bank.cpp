@@ -1,6 +1,9 @@
 #include "arch/bank.hpp"
 
+#include <utility>
+
 #include "sim/check.hpp"
+#include "sim/event.hpp"
 
 namespace colibri::arch {
 
@@ -26,10 +29,13 @@ std::uint64_t Bank::offsetOf(Addr a) const {
 
 void Bank::receive(const MemRequest& req) {
   const sim::Cycle grant = port_.acquire(engine_.now());
-  engine_.scheduleAt(grant, [this, req] {
+  auto serve = [this, req] {
     ++stats_.requests;
     adapter_->handle(req);
-  });
+  };
+  static_assert(sim::InlineEvent::fitsInline<decltype(serve)>,
+                "bank service closure must fit the inline event buffer");
+  engine_.scheduleAt(grant, std::move(serve));
 }
 
 Word Bank::read(Addr a) const { return words_[offsetOf(a)]; }
@@ -37,14 +43,20 @@ Word Bank::read(Addr a) const { return words_[offsetOf(a)]; }
 void Bank::writeRaw(Addr a, Word v) { words_[offsetOf(a)] = v; }
 
 void Bank::respond(CoreId c, const MemResponse& r) {
-  net_.bankToCore(id_, c, [this, c, r] { sink_.deliverResponse(c, r); });
+  auto arrive = [this, c, r] { sink_.deliverResponse(c, r); };
+  static_assert(sim::InlineEvent::fitsInline<decltype(arrive)>,
+                "response closure must fit the inline event buffer");
+  net_.bankToCore(id_, c, std::move(arrive));
 }
 
 void Bank::sendSuccessorUpdate(CoreId target, CoreId successor, Addr a,
                                bool successorIsMwait) {
-  net_.bankToCore(id_, target, [this, target, successor, a, successorIsMwait] {
+  auto arrive = [this, target, successor, a, successorIsMwait] {
     sink_.deliverSuccessorUpdate(target, successor, a, successorIsMwait);
-  });
+  };
+  static_assert(sim::InlineEvent::fitsInline<decltype(arrive)>,
+                "successor-update closure must fit the inline event buffer");
+  net_.bankToCore(id_, target, std::move(arrive));
 }
 
 void Bank::resetStats() {

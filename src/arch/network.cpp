@@ -1,20 +1,15 @@
 #include "arch/network.hpp"
 
+#include <type_traits>
 #include <utility>
 
 namespace colibri::arch {
 
-namespace {
-// Pair keys for the FIFO clamp. Core and bank id spaces overlap, so tag the
-// direction in the top bits.
-constexpr std::uint64_t kDirCoreToBank = 0;
-constexpr std::uint64_t kDirBankToCore = 1;
-
-std::uint64_t pairKey(std::uint64_t dir, std::uint64_t src,
-                      std::uint64_t dst) {
-  return (dir << 62) | (src << 31) | dst;
-}
-}  // namespace
+// The network only relays events built at the injection sites (core.cpp,
+// bank.cpp, system.cpp), where their closures are asserted to fit inline;
+// relaying must itself stay allocation-free, i.e. moves never allocate.
+static_assert(std::is_nothrow_move_constructible_v<sim::InlineEvent> &&
+              std::is_nothrow_move_assignable_v<sim::InlineEvent>);
 
 Network::Network(Engine& engine, const SystemConfig& cfg)
     : engine_(engine), topo_(cfg), cfg_(cfg) {
@@ -31,6 +26,10 @@ Network::Network(Engine& engine, const SystemConfig& cfg)
   for (std::uint32_t t = 0; t < cfg.numTiles(); ++t) {
     tileIngress_.emplace_back(cfg.tileIngressBandwidth);
   }
+  const std::size_t pairs =
+      static_cast<std::size_t>(cfg.numCores) * cfg.numBanks();
+  lastCoreToBank_.assign(pairs, 0);
+  lastBankToCore_.assign(pairs, 0);
 }
 
 Cycle Network::baseLatency(Distance d) const {
@@ -51,31 +50,25 @@ Cycle Network::acquireRequestPath(GroupId srcGroup, GroupId dstGroup,
   // A message with holdSlots > 1 occupies each shared stage for several
   // consecutive slots: the backpressure proxy for requests heading into a
   // backlogged bank (their flits sit in switch buffers, blocking others).
-  const auto occupy = [&](sim::ThroughputResource& r, Cycle t) {
-    Cycle granted = r.acquire(t);
-    for (std::uint32_t i = 1; i < holdSlots; ++i) {
-      granted = r.acquire(granted);
-    }
-    return granted;
-  };
   switch (d) {
     case Distance::kLocalTile:
       return at;  // dedicated path, no shared stage
     case Distance::kSameGroup: {
       // Group router, then the destination tile's ingress port (shared by
       // all of that tile's banks). Stages are FIFO, so ordering holds.
-      const Cycle router = occupy(localRouters_[srcGroup], at);
-      const Cycle granted = occupy(tileIngress_[dstTile], router);
+      const Cycle router = localRouters_[srcGroup].acquire(at, holdSlots);
+      const Cycle granted = tileIngress_[dstTile].acquire(router, holdSlots);
       stats_.totalQueueingDelay += granted - at;
       return granted;
     }
     case Distance::kRemoteGroup: {
       // Router, directed inter-group link, destination tile ingress.
-      const Cycle router = occupy(localRouters_[srcGroup], at);
+      const Cycle router = localRouters_[srcGroup].acquire(at, holdSlots);
       const std::size_t link =
           static_cast<std::size_t>(srcGroup) * cfg_.numGroups() + dstGroup;
-      const Cycle linkCleared = occupy(groupLinks_[link], router);
-      const Cycle granted = occupy(tileIngress_[dstTile], linkCleared);
+      const Cycle linkCleared = groupLinks_[link].acquire(router, holdSlots);
+      const Cycle granted =
+          tileIngress_[dstTile].acquire(linkCleared, holdSlots);
       stats_.totalQueueingDelay += granted - at;
       return granted;
     }
@@ -83,21 +76,21 @@ Cycle Network::acquireRequestPath(GroupId srcGroup, GroupId dstGroup,
   return at;
 }
 
-void Network::deliver(std::uint64_t key, Cycle at, std::function<void()> fn) {
+void Network::deliver(Cycle& lastDelivery, Cycle at, sim::InlineEvent fn) {
   // FIFO clamp: never deliver earlier than a previously sent message on the
   // same (src, dst) pair.
-  auto [it, inserted] = lastDelivery_.try_emplace(key, at);
-  if (!inserted) {
-    if (at < it->second) {
-      at = it->second;
-    }
-    it->second = at;
+  if (at < lastDelivery) {
+    at = lastDelivery;
   }
+  lastDelivery = at;
   engine_.scheduleAt(at, std::move(fn));
 }
 
-void Network::coreToBank(CoreId c, BankId b, std::function<void()> onArrive,
+void Network::coreToBank(CoreId c, BankId b, sim::InlineEvent onArrive,
                          std::uint32_t holdSlots) {
+  COLIBRI_CHECK_MSG(c < cfg_.numCores && b < cfg_.numBanks(),
+                    "coreToBank with out-of-range endpoint: core "
+                        << c << " bank " << b);
   const TileId srcTile = topo_.tileOfCore(c);
   const TileId dstTile = topo_.tileOfBank(b);
   const Distance d = topo_.distance(srcTile, dstTile);
@@ -107,19 +100,22 @@ void Network::coreToBank(CoreId c, BankId b, std::function<void()> onArrive,
   const Cycle cleared = acquireRequestPath(
       topo_.groupOfTile(srcTile), topo_.groupOfTile(dstTile), dstTile, d,
       engine_.now(), holdSlots == 0 ? 1 : holdSlots);
-  deliver(pairKey(kDirCoreToBank, c, b), cleared + baseLatency(d),
-          std::move(onArrive));
+  deliver(lastCoreToBank_[static_cast<std::size_t>(c) * cfg_.numBanks() + b],
+          cleared + baseLatency(d), std::move(onArrive));
 }
 
-void Network::bankToCore(BankId b, CoreId c, std::function<void()> onArrive) {
+void Network::bankToCore(BankId b, CoreId c, sim::InlineEvent onArrive) {
+  COLIBRI_CHECK_MSG(c < cfg_.numCores && b < cfg_.numBanks(),
+                    "bankToCore with out-of-range endpoint: bank "
+                        << b << " core " << c);
   const TileId srcTile = topo_.tileOfBank(b);
   const TileId dstTile = topo_.tileOfCore(c);
   const Distance d = topo_.distance(srcTile, dstTile);
   stats_.messagesByDistance[static_cast<std::size_t>(d)]++;
   stats_.totalMessages++;
 
-  deliver(pairKey(kDirBankToCore, b, c), engine_.now() + baseLatency(d),
-          std::move(onArrive));
+  deliver(lastBankToCore_[static_cast<std::size_t>(b) * cfg_.numCores + c],
+          engine_.now() + baseLatency(d), std::move(onArrive));
 }
 
 void Network::resetStats() {

@@ -12,6 +12,9 @@
 // with a per-pair clamp, because Colibri's correctness argument relies on
 // ordered memory transactions (Section IV-A): an SCwait and the
 // WakeUpRequest dispatched right behind it must not be reordered.
+// The clamp is two flat direct-indexed arrays (core->bank and bank->core),
+// sized numCores()*numBanks() from the config — one indexed load per
+// message instead of a hash probe, and no packed-key collisions.
 //
 // Only the request direction contends for link bandwidth; responses use
 // dedicated return paths (as in MemPool's full-duplex interconnect) with
@@ -20,13 +23,12 @@
 
 #include <array>
 #include <cstdint>
-#include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "arch/config.hpp"
 #include "arch/topology.hpp"
 #include "sim/engine.hpp"
+#include "sim/event.hpp"
 #include "sim/resource.hpp"
 #include "sim/types.hpp"
 
@@ -57,12 +59,12 @@ class Network {
   /// `holdSlots` >= 1 is the number of consecutive slots the message holds
   /// on each shared stage: >1 models backpressure from a backlogged
   /// destination (finite switch buffers, head-of-line blocking).
-  void coreToBank(CoreId c, BankId b, std::function<void()> onArrive,
+  void coreToBank(CoreId c, BankId b, sim::InlineEvent onArrive,
                   std::uint32_t holdSlots = 1);
 
   /// Deliver `onArrive` at the core after the response-path latency from
   /// bank `b` to core `c` (pure latency, FIFO per (b,c)).
-  void bankToCore(BankId b, CoreId c, std::function<void()> onArrive);
+  void bankToCore(BankId b, CoreId c, sim::InlineEvent onArrive);
 
   /// One-way latency (without queueing) for a distance class.
   [[nodiscard]] Cycle baseLatency(Distance d) const;
@@ -82,7 +84,8 @@ class Network {
   Cycle acquireRequestPath(GroupId srcGroup, GroupId dstGroup, TileId dstTile,
                            Distance d, Cycle at, std::uint32_t holdSlots);
 
-  void deliver(std::uint64_t pairKey, Cycle at, std::function<void()> fn);
+  /// Clamp `at` against the pair's last delivery time and schedule.
+  void deliver(Cycle& lastDelivery, Cycle at, sim::InlineEvent fn);
 
   Engine& engine_;
   Topology topo_;
@@ -90,7 +93,10 @@ class Network {
   std::vector<sim::ThroughputResource> localRouters_;  // one per group
   std::vector<sim::ThroughputResource> groupLinks_;    // numGroups^2, directed
   std::vector<sim::ThroughputResource> tileIngress_;   // one per tile
-  std::unordered_map<std::uint64_t, Cycle> lastDelivery_;  // FIFO clamp
+  // FIFO clamps: last scheduled delivery per directed endpoint pair, flat
+  // direct-indexed (row = source id).
+  std::vector<Cycle> lastCoreToBank_;  // [c * numBanks + b]
+  std::vector<Cycle> lastBankToCore_;  // [b * numCores + c]
   NetworkStats stats_;
 };
 

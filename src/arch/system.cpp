@@ -1,6 +1,9 @@
 #include "arch/system.hpp"
 
+#include <utility>
+
 #include "sim/check.hpp"
+#include "sim/event.hpp"
 
 namespace colibri::arch {
 
@@ -89,8 +92,10 @@ void System::injectRequest(CoreId from, const MemRequest& req) {
     hold += static_cast<std::uint32_t>(
         backlog > cfg_.linkHoldMax ? cfg_.linkHoldMax : backlog);
   }
-  net_.coreToBank(
-      from, b, [this, b, req] { banks_[b]->receive(req); }, hold);
+  auto arrive = [this, b, req] { banks_[b]->receive(req); };
+  static_assert(sim::InlineEvent::fitsInline<decltype(arrive)>,
+                "request-injection closure must fit the inline event buffer");
+  net_.coreToBank(from, b, std::move(arrive), hold);
 }
 
 void System::resetStats() {

@@ -1,8 +1,11 @@
 #include "core/core.hpp"
 
+#include <utility>
+
 #include "arch/system.hpp"
 #include "atomics/qnode.hpp"
 #include "sim/check.hpp"
+#include "sim/event.hpp"
 
 namespace colibri::arch {
 
@@ -37,10 +40,13 @@ void Core::issue(const MemRequest& req, std::coroutine_handle<> h,
   if (req.kind == OpKind::kStore) {
     // Posted store: the request travels on its own; the core continues
     // right after the issue slot.
-    sys_.engine().scheduleAt(depart, [this, req, h] {
+    auto depart_ev = [this, req, h] {
       sys_.injectRequest(id_, req);
       h.resume();
-    });
+    };
+    static_assert(sim::InlineEvent::fitsInline<decltype(depart_ev)>,
+                  "posted-store closure must fit the inline event buffer");
+    sys_.engine().scheduleAt(depart, std::move(depart_ev));
     return;
   }
 
@@ -48,7 +54,7 @@ void Core::issue(const MemRequest& req, std::coroutine_handle<> h,
   pendingOut_ = out;
   pendingKind_ = req.kind;
 
-  sys_.engine().scheduleAt(depart, [this, req] {
+  auto depart_ev = [this, req] {
     pendingSince_ = sys_.engine().now();
     // The request passes the core's Qnode on its way out (Colibri only).
     // Wait registration happens before injection; the SCwait hook runs
@@ -62,7 +68,10 @@ void Core::issue(const MemRequest& req, std::coroutine_handle<> h,
     if (qnode_ != nullptr && req.kind == OpKind::kScWait) {
       qnode_->onScWaitIssued();
     }
-  });
+  };
+  static_assert(sim::InlineEvent::fitsInline<decltype(depart_ev)>,
+                "issue closure must fit the inline event buffer");
+  sys_.engine().scheduleAt(depart, std::move(depart_ev));
 }
 
 void Core::complete(const MemResponse& r) {
@@ -111,10 +120,13 @@ void Core::delayed(Cycle n, std::coroutine_handle<> h) {
     hasIssued_ = true;
     lastIssue_ = issueMark;
   }
-  sys_.engine().scheduleAt(done, [this, h] {
+  auto resume_ev = [this, h] {
     h.resume();
     task_.rethrowIfFailed();
-  });
+  };
+  static_assert(sim::InlineEvent::fitsInline<decltype(resume_ev)>,
+                "delay closure must fit the inline event buffer");
+  sys_.engine().scheduleAt(done, std::move(resume_ev));
 }
 
 }  // namespace colibri::arch

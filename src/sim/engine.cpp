@@ -2,17 +2,21 @@
 
 namespace colibri::sim {
 
+bool Engine::dispatchOne(Cycle horizon) {
+  // The event runs in place inside its (already unlinked) queue node, so
+  // the callable may schedule new events — which mutates the queue — while
+  // it executes, and dispatch pays no event move.
+  return queue_.runEarliestIfAtMost(horizon, [this](Cycle when, Event& ev) {
+    now_ = when;
+    ev();
+    ++executed_;
+  });
+}
+
 std::size_t Engine::runUntil(Cycle horizon) {
   std::size_t ran = 0;
-  while (!queue_.empty() && queue_.top().when <= horizon) {
-    // Move the event out before popping so the callable may schedule new
-    // events (which mutates the queue) while it runs.
-    Item item = std::move(const_cast<Item&>(queue_.top()));
-    queue_.pop();
-    now_ = item.when;
-    item.ev();
+  while (dispatchOne(horizon)) {
     ++ran;
-    ++executed_;
   }
   if (horizon != kCycleNever && now_ < horizon) {
     now_ = horizon;
@@ -22,26 +26,15 @@ std::size_t Engine::runUntil(Cycle horizon) {
 
 std::size_t Engine::step(std::size_t n) {
   std::size_t ran = 0;
-  while (ran < n && !queue_.empty()) {
-    Item item = std::move(const_cast<Item&>(queue_.top()));
-    queue_.pop();
-    now_ = item.when;
-    item.ev();
+  while (ran < n && dispatchOne(kCycleNever)) {
     ++ran;
-    ++executed_;
   }
   return ran;
 }
 
-void Engine::clear() {
-  while (!queue_.empty()) {
-    queue_.pop();
-  }
-}
-
 void Engine::advanceTo(Cycle when) {
   COLIBRI_CHECK(when >= now_);
-  COLIBRI_CHECK_MSG(queue_.empty() || queue_.top().when >= when,
+  COLIBRI_CHECK_MSG(queue_.minWhen() >= when,
                     "advanceTo would skip a pending event");
   now_ = when;
 }

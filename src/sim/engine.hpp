@@ -1,28 +1,33 @@
 // Discrete-event simulation engine.
 //
-// The engine owns a time-ordered queue of events (arbitrary callables).
+// The engine owns a time-ordered queue of events (move-only callables).
 // Events scheduled for the same cycle execute in scheduling order (stable
 // FIFO tie-break via a sequence number) — this matters for protocol
 // modeling: two messages injected into the network in some order on the
 // same cycle must not be reordered spontaneously.
+//
+// The hot path is allocation-free: events are sim::InlineEvent (48-byte
+// inline capture buffer, event.hpp) and the pending set is a two-level
+// calendar queue (per-cycle FIFO buckets over pooled nodes with an
+// overflow heap, eventqueue.hpp), so the steady-state schedule/dispatch
+// cycle costs no heap traffic and no O(log n) sift.
 //
 // The engine is single-threaded and fully deterministic. Benchmarks that
 // sweep configurations parallelize across *engines*, never within one.
 #pragma once
 
 #include <cstddef>
-#include <functional>
-#include <queue>
 #include <utility>
-#include <vector>
 
 #include "sim/check.hpp"
+#include "sim/event.hpp"
+#include "sim/eventqueue.hpp"
 #include "sim/types.hpp"
 
 namespace colibri::sim {
 
 /// Callable executed at a simulated point in time.
-using Event = std::function<void()>;
+using Event = InlineEvent;
 
 class Engine {
  public:
@@ -33,16 +38,20 @@ class Engine {
   /// Current simulated time. Advances only inside run()/runUntil().
   [[nodiscard]] Cycle now() const { return now_; }
 
-  /// Schedule `ev` to run at absolute cycle `when` (must be >= now()).
-  void scheduleAt(Cycle when, Event ev) {
+  /// Schedule `f` to run at absolute cycle `when` (must be >= now()).
+  /// Accepts any void() callable (or a prebuilt InlineEvent); the closure
+  /// is constructed directly inside a pooled queue node.
+  template <typename F>
+  void scheduleAt(Cycle when, F&& f) {
     COLIBRI_CHECK_MSG(when >= now_, "scheduleAt into the past: when="
                                         << when << " now=" << now_);
-    queue_.push(Item{when, nextSeq_++, std::move(ev)});
+    queue_.schedule(when, std::forward<F>(f));
   }
 
-  /// Schedule `ev` to run `delay` cycles from now.
-  void scheduleAfter(Cycle delay, Event ev) {
-    scheduleAt(now_ + delay, std::move(ev));
+  /// Schedule `f` to run `delay` cycles from now.
+  template <typename F>
+  void scheduleAfter(Cycle delay, F&& f) {
+    scheduleAt(now_ + delay, std::forward<F>(f));
   }
 
   /// Run until the event queue is empty. Returns the number of events run.
@@ -59,7 +68,9 @@ class Engine {
 
   /// Drop all pending events without running them. Used at teardown so that
   /// no queued callback can touch objects that are about to be destroyed.
-  void clear();
+  /// Splices the queue's node lists back onto its free-list — no per-item
+  /// heap frees or heap rebalancing.
+  void clear() { queue_.clear(); }
 
   [[nodiscard]] bool empty() const { return queue_.empty(); }
   [[nodiscard]] std::size_t pendingEvents() const { return queue_.size(); }
@@ -70,20 +81,12 @@ class Engine {
   void advanceTo(Cycle when);
 
  private:
-  struct Item {
-    Cycle when;
-    std::uint64_t seq;
-    Event ev;
-  };
-  struct Later {
-    bool operator()(const Item& a, const Item& b) const {
-      return a.when != b.when ? a.when > b.when : a.seq > b.seq;
-    }
-  };
+  /// Pop and run the earliest event if its cycle is <= horizon. Returns
+  /// whether an event ran. The single dispatch body behind runUntil/step.
+  bool dispatchOne(Cycle horizon);
 
-  std::priority_queue<Item, std::vector<Item>, Later> queue_;
+  EventQueue queue_;
   Cycle now_ = 0;
-  std::uint64_t nextSeq_ = 0;
   std::uint64_t executed_ = 0;
 };
 

@@ -1,0 +1,304 @@
+// Two-level calendar queue: the engine's pending-event store.
+//
+// The near future — a window of kBucketCount consecutive cycles starting
+// at the last dispatched cycle — is a ring of per-cycle FIFO buckets
+// (intrusive singly-linked lists of pooled nodes), with a bitmap of
+// non-empty buckets so finding the next cycle is a handful of word scans.
+// Network and bank delays are small config constants, so virtually every
+// event lands in this window: schedule and dispatch are O(1) and touch no
+// allocator (nodes come from a free-list refilled in chunks).
+//
+// Events beyond the window go to an overflow binary heap ordered by
+// (when, seq). Overflow entries are never migrated; dispatch compares the
+// earliest bucket head against the heap top — ties on `when` are broken by
+// the global sequence number, so the execution order is exactly the
+// (when, seq) total order a single binary heap would produce. That makes
+// the queue swap bit-transparent to every simulation.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "sim/check.hpp"
+#include "sim/event.hpp"
+#include "sim/types.hpp"
+
+namespace colibri::sim {
+
+class EventQueue {
+ public:
+  /// Window length in cycles; power of two (index = when & (N-1)).
+  static constexpr std::size_t kBucketCount = 1024;
+  /// Pool growth granularity.
+  static constexpr std::size_t kNodesPerChunk = 256;
+
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+  ~EventQueue() { clear(); }
+
+  /// Append an event; FIFO among events with equal `when`. `when` must be
+  /// >= the cycle of the most recently popped event. The callable is
+  /// constructed directly inside a pooled node — no intermediate moves.
+  template <typename F>
+  void schedule(Cycle when, F&& f);
+
+  /// Remove the earliest event (by (when, seq)) if its cycle is <= horizon;
+  /// fills `when`/`ev` and returns true, else returns false.
+  bool popIfAtMost(Cycle horizon, Cycle& when, InlineEvent& ev);
+
+  /// Like popIfAtMost, but runs the event in place inside its (already
+  /// unlinked) node via `fn(when, ev)` — the dispatch path pays no event
+  /// move. The node returns to the free-list even if the callable throws.
+  template <typename F>
+  bool runEarliestIfAtMost(Cycle horizon, F&& fn);
+
+  /// Cycle of the earliest pending event; kCycleNever when empty.
+  [[nodiscard]] Cycle minWhen() const;
+
+  /// Drop every pending event without running it: destroys the callables
+  /// and splices the nodes back onto the free-list — no heap traffic, no
+  /// per-item heap rebalancing.
+  void clear() noexcept;
+
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  // --- Introspection (tests / stats) ------------------------------------
+  /// Total nodes ever allocated from the pool. A steady-state workload
+  /// stops moving this counter once the free-list covers its live set.
+  [[nodiscard]] std::size_t allocatedNodes() const noexcept {
+    return chunks_.size() * kNodesPerChunk;
+  }
+  /// Events currently parked in the far-future overflow heap.
+  [[nodiscard]] std::size_t overflowSize() const noexcept {
+    return overflow_.size();
+  }
+
+ private:
+  struct Node {
+    Cycle when = 0;
+    std::uint64_t seq = 0;
+    Node* next = nullptr;
+    InlineEvent ev;
+  };
+  struct Bucket {
+    Node* head = nullptr;
+    Node* tail = nullptr;
+  };
+
+  static constexpr std::size_t kBitmapWords = kBucketCount / 64;
+
+  /// Later-first comparison, i.e. `overflow_` is a max-heap of "later"
+  /// so its front is the earliest (when, seq).
+  static bool later(const Node* a, const Node* b) noexcept {
+    return a->when != b->when ? a->when > b->when : a->seq > b->seq;
+  }
+
+  Node* allocNode() {
+    if (freeList_ == nullptr) {
+      refillPool();
+    }
+    Node* n = freeList_;
+    freeList_ = n->next;
+    return n;
+  }
+  void freeNode(Node* n) noexcept {
+    n->next = freeList_;
+    freeList_ = n;
+  }
+  void refillPool();
+
+  /// Earliest non-empty bucket cycle; requires bucketCount_ > 0.
+  [[nodiscard]] Cycle bucketMinWhen() const;
+
+  /// Unlink and return the earliest (when, seq) node if its cycle is
+  /// <= horizon, else nullptr. Advances the window cursor.
+  Node* takeEarliest(Cycle horizon);
+
+  std::array<Bucket, kBucketCount> buckets_{};
+  std::array<std::uint64_t, kBitmapWords> occupied_{};
+  std::vector<Node*> overflow_;
+  std::vector<std::unique_ptr<Node[]>> chunks_;
+  Node* freeList_ = nullptr;
+  Cycle cursor_ = 0;  ///< lower bound of the bucket window
+  /// Memoized earliest non-empty bucket cycle. Kept warm by schedule()
+  /// and invalidated only when the minimum bucket drains, so the common
+  /// schedule/dispatch rhythm skips the bitmap scan entirely.
+  mutable Cycle bucketMinCache_ = 0;
+  mutable bool bucketMinValid_ = false;
+  std::uint64_t nextSeq_ = 0;
+  std::size_t size_ = 0;
+  std::size_t bucketCount_ = 0;  ///< events in buckets (rest in overflow_)
+};
+
+// --- Hot-path definitions (kept in the header so the per-event schedule
+// and dispatch cost is a handful of inlined loads/stores) -----------------
+
+template <typename F>
+inline void EventQueue::schedule(Cycle when, F&& f) {
+  COLIBRI_CHECK_MSG(when >= cursor_, "schedule before the dispatch cursor: when="
+                                         << when << " cursor=" << cursor_);
+  Node* n = allocNode();
+  n->when = when;
+  n->seq = nextSeq_++;
+  n->next = nullptr;
+  if constexpr (std::is_same_v<std::remove_cvref_t<F>, InlineEvent>) {
+    n->ev = std::forward<F>(f);
+  } else {
+    n->ev.emplace(std::forward<F>(f));
+  }
+  if (when - cursor_ < kBucketCount) {
+    const std::size_t idx = when & (kBucketCount - 1);
+    Bucket& b = buckets_[idx];
+    if (b.head == nullptr) {
+      b.head = b.tail = n;
+      occupied_[idx / 64] |= std::uint64_t{1} << (idx % 64);
+    } else {
+      b.tail->next = n;
+      b.tail = n;
+    }
+    if (bucketMinValid_) {
+      if (when < bucketMinCache_) {
+        bucketMinCache_ = when;
+      }
+    } else if (bucketCount_ == 0) {
+      // No other bucket can be earlier; an invalid cache with buckets
+      // still occupied must stay invalid until the next bitmap scan.
+      bucketMinCache_ = when;
+      bucketMinValid_ = true;
+    }
+    ++bucketCount_;
+  } else {
+    overflow_.push_back(n);
+    std::push_heap(overflow_.begin(), overflow_.end(), &later);
+  }
+  ++size_;
+}
+
+inline Cycle EventQueue::bucketMinWhen() const {
+  if (bucketMinValid_) {
+    return bucketMinCache_;
+  }
+  // Scan the occupancy bitmap starting at the cursor's slot, wrapping once.
+  // Every bucket event lies in [cursor_, cursor_ + kBucketCount), so the
+  // wrap distance from the cursor slot recovers the absolute cycle.
+  const std::size_t start = cursor_ & (kBucketCount - 1);
+  std::size_t w = start / 64;
+  std::uint64_t word = occupied_[w] & (~std::uint64_t{0} << (start % 64));
+  for (std::size_t i = 0; i <= kBitmapWords; ++i) {
+    if (word != 0) {
+      const std::size_t bit =
+          w * 64 + static_cast<std::size_t>(std::countr_zero(word));
+      const std::size_t dist = (bit + kBucketCount - start) & (kBucketCount - 1);
+      bucketMinCache_ = cursor_ + dist;
+      bucketMinValid_ = true;
+      return bucketMinCache_;
+    }
+    w = (w + 1) % kBitmapWords;
+    word = occupied_[w];
+  }
+  COLIBRI_CHECK_MSG(false, "occupancy bitmap empty with bucketCount_ > 0");
+  return kCycleNever;
+}
+
+inline Cycle EventQueue::minWhen() const {
+  Cycle m = kCycleNever;
+  if (bucketCount_ > 0) {
+    m = bucketMinWhen();
+  }
+  if (!overflow_.empty() && overflow_.front()->when < m) {
+    m = overflow_.front()->when;
+  }
+  return m;
+}
+
+inline EventQueue::Node* EventQueue::takeEarliest(Cycle horizon) {
+  if (size_ == 0) {
+    return nullptr;
+  }
+  const Cycle bucketWhen = bucketCount_ > 0 ? bucketMinWhen() : kCycleNever;
+  const Node* top = overflow_.empty() ? nullptr : overflow_.front();
+
+  // A bucket head and the heap top can share a cycle (the overflow entry
+  // was scheduled before the window reached it); the lower seq wins.
+  bool fromOverflow;
+  if (bucketCount_ == 0) {
+    fromOverflow = true;
+  } else if (top == nullptr || top->when > bucketWhen) {
+    fromOverflow = false;
+  } else if (top->when < bucketWhen) {
+    fromOverflow = true;
+  } else {
+    const std::size_t idx = bucketWhen & (kBucketCount - 1);
+    fromOverflow = top->seq < buckets_[idx].head->seq;
+  }
+
+  Node* n;
+  if (fromOverflow) {
+    if (top->when > horizon) {
+      return nullptr;
+    }
+    std::pop_heap(overflow_.begin(), overflow_.end(), &later);
+    n = overflow_.back();
+    overflow_.pop_back();
+  } else {
+    if (bucketWhen > horizon) {
+      return nullptr;
+    }
+    const std::size_t idx = bucketWhen & (kBucketCount - 1);
+    Bucket& b = buckets_[idx];
+    n = b.head;
+    b.head = n->next;
+    if (b.head == nullptr) {
+      b.tail = nullptr;
+      occupied_[idx / 64] &= ~(std::uint64_t{1} << (idx % 64));
+      bucketMinValid_ = false;  // the minimum bucket just drained
+    }
+    --bucketCount_;
+  }
+
+  cursor_ = n->when;  // everything earlier has been dispatched
+  --size_;
+  return n;
+}
+
+inline bool EventQueue::popIfAtMost(Cycle horizon, Cycle& when,
+                                    InlineEvent& ev) {
+  Node* n = takeEarliest(horizon);
+  if (n == nullptr) {
+    return false;
+  }
+  when = n->when;
+  ev = std::move(n->ev);
+  freeNode(n);
+  return true;
+}
+
+template <typename F>
+inline bool EventQueue::runEarliestIfAtMost(Cycle horizon, F&& fn) {
+  Node* n = takeEarliest(horizon);
+  if (n == nullptr) {
+    return false;
+  }
+  // The node is unlinked, so the callable may schedule freely (the pool
+  // cannot hand this node out again before the guard frees it).
+  struct Guard {
+    EventQueue* q;
+    Node* n;
+    ~Guard() {
+      n->ev.reset();
+      q->freeNode(n);
+    }
+  } guard{this, n};
+  fn(n->when, n->ev);
+  return true;
+}
+
+}  // namespace colibri::sim

@@ -44,6 +44,36 @@ class ThroughputResource {
     return cursor_;
   }
 
+  /// Claim `n` consecutive slots, the first at or after `at`, each
+  /// subsequent one at or after its predecessor; returns the cycle of the
+  /// last slot. Exactly equivalent (state, stats and return value) to
+  /// `g = acquire(at); repeat n-1 times: g = acquire(g);` — the pattern
+  /// backpressured messages use to hold a stage for several slots — but in
+  /// closed form instead of a loop.
+  Cycle acquire(Cycle at, std::uint32_t n) {
+    COLIBRI_CHECK(n >= 1);
+    Cycle granted = acquire(at);
+    const std::uint32_t rest = n - 1;
+    if (rest == 0) {
+      return granted;
+    }
+    totalGrants_ += rest;
+    const std::uint32_t freeNow = slotsPerCycle_ - used_;
+    if (rest <= freeNow) {
+      used_ += rest;
+      return cursor_;
+    }
+    // Fill the current cycle, then spill over whole cycles. Each spilled
+    // cycle corresponds to one scalar acquire arriving one cycle early,
+    // i.e. one unit of queueing delay.
+    const std::uint32_t spill = rest - freeNow;
+    const Cycle extraCycles = (spill + slotsPerCycle_ - 1) / slotsPerCycle_;
+    cursor_ += extraCycles;
+    used_ = spill - static_cast<std::uint32_t>(extraCycles - 1) * slotsPerCycle_;
+    totalQueueingDelay_ += extraCycles;
+    return cursor_;
+  }
+
   /// Earliest cycle >= `at` at which a slot *would* be granted (no claim).
   [[nodiscard]] Cycle peek(Cycle at) const {
     if (at > cursor_) {

@@ -65,6 +65,45 @@ TEST(ThroughputResource, IdleGapResetsCursor) {
   EXPECT_EQ(r.acquire(100), 100u);
 }
 
+TEST(ThroughputResource, BulkAcquireOfOneEqualsScalarAcquire) {
+  ThroughputResource bulk(2);
+  ThroughputResource scalar(2);
+  for (Cycle at : {0u, 0u, 0u, 5u, 5u, 6u}) {
+    EXPECT_EQ(bulk.acquire(at, 1), scalar.acquire(at));
+  }
+  EXPECT_EQ(bulk.totalGrants(), scalar.totalGrants());
+  EXPECT_EQ(bulk.totalQueueingDelay(), scalar.totalQueueingDelay());
+}
+
+TEST(ThroughputResource, BulkAcquireMatchesScalarLoopExactly) {
+  // Property: acquire(at, n) is bit-equivalent (grant cycle, grant count,
+  // queueing delay, and all future behavior) to the scalar chain
+  // g = acquire(at); g = acquire(g); ... that holdSlots backpressure used
+  // to issue. Randomized interleavings across bandwidths.
+  for (const std::uint32_t slots : {1u, 2u, 3u, 4u, 8u, 16u}) {
+    ThroughputResource bulk(slots);
+    ThroughputResource scalar(slots);
+    std::uint64_t state = 0x9E3779B97F4A7C15ull ^ slots;
+    Cycle at = 0;
+    for (int i = 0; i < 500; ++i) {
+      state = state * 6364136223846793005ull + 1442695040888963407ull;
+      at += (state >> 33) % 3;            // nondecreasing arrivals with jitter
+      const auto n = static_cast<std::uint32_t>((state >> 17) % 9 + 1);
+      const Cycle got = bulk.acquire(at, n);
+      Cycle want = scalar.acquire(at);
+      for (std::uint32_t k = 1; k < n; ++k) {
+        want = scalar.acquire(want);
+      }
+      ASSERT_EQ(got, want) << "slots=" << slots << " i=" << i << " at=" << at
+                           << " n=" << n;
+      ASSERT_EQ(bulk.totalGrants(), scalar.totalGrants());
+      ASSERT_EQ(bulk.totalQueueingDelay(), scalar.totalQueueingDelay());
+    }
+    // Residual state must match too: a final probe grants identically.
+    EXPECT_EQ(bulk.acquire(at), scalar.acquire(at));
+  }
+}
+
 class ThroughputSweep : public ::testing::TestWithParam<std::uint32_t> {};
 
 // Property: over a dense burst of N arrivals at cycle 0, the k-th grant is
