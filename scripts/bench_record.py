@@ -1,22 +1,64 @@
 #!/usr/bin/env python3
-"""Run a google-benchmark binary and archive its JSON output.
+"""Run a benchmark binary and archive its JSON output.
 
-Seeds the repo's performance trajectory: CI runs this against
-bench_sim_engine after every build and archives BENCH_engine.json, so
-engine-throughput regressions show up as artifact diffs rather than
-anecdotes.
+Seeds the repo's performance trajectory: CI runs this after every build
+and archives the results (BENCH_engine.json, BENCH_wgen.json), so
+throughput regressions show up as artifact diffs rather than anecdotes.
+
+Two modes:
+  gbench (default)  google-benchmark binary; passes --benchmark_format=json
+                    and summarizes per-benchmark iteration rows.
+  exp               a binary that prints a colibri-exp JSON document on
+                    stdout (e.g. `bench_wgen_contention --json`);
+                    validates the schema tag and summarizes per-run rates.
 
 Usage:
   scripts/bench_record.py                         # engine bench, defaults
   scripts/bench_record.py --bench build/bench_sim_engine \\
       --out BENCH_engine.json --filter 'Engine|Construct' \\
       -- --benchmark_min_time=0.5
+  scripts/bench_record.py --mode exp --bench build/bench_wgen_contention \\
+      --out BENCH_wgen.json -- --json
 """
 
 import argparse
 import json
 import subprocess
 import sys
+
+
+def summarize_gbench(report) -> list:
+    return [
+        (
+            b["name"],
+            b.get("real_time"),
+            b.get("time_unit", "ns"),
+            f"{b['items_per_second'] / 1e6:10.2f} M items/s"
+            if b.get("items_per_second")
+            else "",
+        )
+        for b in report.get("benchmarks", [])
+        if b.get("run_type", "iteration") == "iteration"
+    ]
+
+
+def summarize_exp(report) -> list:
+    schema = report.get("schema", "")
+    if not schema.startswith("colibri-exp"):
+        print(
+            f"bench_record: unexpected schema '{schema}' (want colibri-exp-*)",
+            file=sys.stderr,
+        )
+        return []
+    return [
+        (
+            run.get("label", "?"),
+            run.get("aggregate", {}).get("opsPerCycle", {}).get("mean"),
+            "ops/cycle",
+            "",
+        )
+        for run in report.get("runs", [])
+    ]
 
 
 def main() -> int:
@@ -34,9 +76,15 @@ def main() -> int:
         help="output JSON path (default: %(default)s)",
     )
     parser.add_argument(
+        "--mode",
+        choices=["gbench", "exp"],
+        default="gbench",
+        help="binary flavor: google-benchmark or colibri-exp JSON emitter",
+    )
+    parser.add_argument(
         "--filter",
         default="",
-        help="--benchmark_filter regex (default: all benchmarks)",
+        help="--benchmark_filter regex (gbench mode; default: all)",
     )
     parser.add_argument(
         "extra",
@@ -45,9 +93,11 @@ def main() -> int:
     )
     args = parser.parse_args()
 
-    cmd = [args.bench, "--benchmark_format=json"]
-    if args.filter:
-        cmd.append(f"--benchmark_filter={args.filter}")
+    cmd = [args.bench]
+    if args.mode == "gbench":
+        cmd.append("--benchmark_format=json")
+        if args.filter:
+            cmd.append(f"--benchmark_filter={args.filter}")
     cmd += args.extra
 
     print(f"bench_record: running {' '.join(cmd)}", file=sys.stderr)
@@ -70,25 +120,16 @@ def main() -> int:
         json.dump(report, f, indent=2, sort_keys=True)
         f.write("\n")
 
-    rows = [
-        (
-            b["name"],
-            b.get("items_per_second"),
-            b.get("real_time"),
-            b.get("time_unit", "ns"),
-        )
-        for b in report.get("benchmarks", [])
-        if b.get("run_type", "iteration") == "iteration"
-    ]
+    rows = summarize_gbench(report) if args.mode == "gbench" else summarize_exp(report)
     if not rows:
         print("bench_record: no benchmark results in output", file=sys.stderr)
         return 1
 
     width = max(len(name) for name, *_ in rows)
     print(f"bench_record: wrote {args.out}")
-    for name, items, real_time, unit in rows:
-        rate = f"{items / 1e6:10.2f} M items/s" if items else " " * 21
-        print(f"  {name:<{width}}  {real_time:12.1f} {unit}  {rate}")
+    for name, value, unit, rate in rows:
+        value_text = f"{value:12.4f}" if value is not None else " " * 12
+        print(f"  {name:<{width}}  {value_text} {unit}  {rate}")
     return 0
 
 

@@ -10,6 +10,7 @@
 #include "exp/sweep.hpp"
 #include "report/table.hpp"
 #include "sim/check.hpp"
+#include "wgen/presets.hpp"
 
 namespace colibri::cli {
 namespace {
@@ -44,7 +45,7 @@ double sleepFraction(const workloads::SystemCounters& c) {
 /// The scenario registry already vetted the names; nullopt means a
 /// workload is registered but has no dispatch here (internal error).
 std::optional<exp::RunSpec> buildSpec(const Options& opts,
-                                      const AdapterSpec& adapter,
+                                      const exp::AdapterSpec& adapter,
                                       const arch::SystemConfig& cfg) {
   exp::RunSpec spec;
   spec.label = opts.adapter + "/" + opts.workload;
@@ -81,6 +82,22 @@ std::optional<exp::RunSpec> buildSpec(const Options& opts,
     p.n = opts.matmulN;
     p.workers.resize(opts.cores);
     std::iota(p.workers.begin(), p.workers.end(), 0);
+    spec.params = p;
+  } else if (const auto* preset = wgen::findPreset(opts.workload)) {
+    wgen::WgenParams p;
+    p.kernel = preset->spec;
+    p.backoff = backoff;
+    for (auto& region : p.kernel.regions) {
+      if (opts.zipfTheta >= 0.0) {
+        region.zipfTheta = opts.zipfTheta;
+      }
+      if (opts.hotFraction >= 0.0) {
+        region.hotFraction = opts.hotFraction;
+      }
+      if (opts.wgenWords != 0 && region.dist != wgen::AddrDist::kStrided) {
+        region.range = opts.wgenWords;
+      }
+    }
     spec.params = p;
   } else {
     return std::nullopt;
@@ -181,6 +198,32 @@ void printProdCons(const Options& opts, const exp::RunSpec& spec,
   emit(table, out, opts.csv);
 }
 
+void printWgen(const Options& opts, const exp::SweepResult& res,
+               std::ostream& out) {
+  const auto& r = res.primary();
+  maybeBanner(out, opts, "colibri-sim: wgen preset '" + opts.workload +
+                             "' on " + opts.adapter);
+  std::vector<std::string> headers{
+      "adapter", "workload", "cores",   "ops/cycle", "ops",     "jain",
+      "lat-p50", "lat-p95",  "lat-p99", "sleep%",    "verified"};
+  std::vector<std::string> row{
+      opts.adapter,
+      opts.workload,
+      std::to_string(opts.cores),
+      report::fmt(res.opsPerCycle.mean, 4),
+      std::to_string(r.rate.opsInWindow),
+      report::fmt(r.rate.fairnessJain, 3),
+      report::fmt(r.opLatency.p50, 1),
+      report::fmt(r.opLatency.p95, 1),
+      report::fmt(r.opLatency.p99, 1),
+      report::fmtPercent(100.0 * sleepFraction(r.rate.counters)),
+      res.allVerified ? "yes" : "NO"};
+  appendAggregate(headers, row, opts, res);
+  report::Table table(headers);
+  table.addRow(row);
+  emit(table, out, opts.csv);
+}
+
 void printMatmul(const Options& opts, const exp::SweepResult& res,
                  std::ostream& out) {
   const auto& r = res.primary();
@@ -206,7 +249,7 @@ void printMatmul(const Options& opts, const exp::SweepResult& res,
 }  // namespace
 
 std::optional<std::string> buildConfig(const Options& opts,
-                                       const AdapterSpec& adapter,
+                                       const exp::AdapterSpec& adapter,
                                        arch::SystemConfig& cfg) {
   arch::SystemConfig base;
   base.numCores = opts.cores;
@@ -237,7 +280,7 @@ std::optional<std::string> buildConfig(const Options& opts,
 
 void printScenarios(std::ostream& os, bool csv) {
   report::Table table({"adapter", "workload", "supported", "description"});
-  for (const auto& s : allScenarios()) {
+  for (const auto& s : exp::allScenarios()) {
     table.addRow({s.adapter.name, s.workload.name,
                   s.supported ? "yes" : "no",
                   s.adapter.description + " | " + s.workload.description});
@@ -251,19 +294,19 @@ void printScenarios(std::ostream& os, bool csv) {
 }
 
 int runScenario(const Options& opts, std::ostream& out, std::ostream& err) {
-  const auto adapter = findAdapter(opts.adapter);
+  const auto adapter = exp::findAdapter(opts.adapter);
   if (!adapter) {
     err << "colibri-sim: unknown adapter '" << opts.adapter
-        << "' (choose from: " << adapterNameList() << ")\n";
+        << "' (choose from: " << exp::adapterNameList() << ")\n";
     return 2;
   }
-  const auto workload = findWorkload(opts.workload);
+  const auto workload = exp::findWorkload(opts.workload);
   if (!workload) {
     err << "colibri-sim: unknown workload '" << opts.workload
-        << "' (choose from: " << workloadNameList() << ")\n";
+        << "' (choose from: " << exp::workloadNameList() << ")\n";
     return 2;
   }
-  const auto scenario = findScenario(opts.adapter, opts.workload);
+  const auto scenario = exp::findScenario(opts.adapter, opts.workload);
   if (scenario && !scenario->supported) {
     err << "colibri-sim: scenario " << opts.adapter << " x " << opts.workload
         << " is not runnable (" << scenario->whyUnsupported << "); see "
@@ -303,6 +346,10 @@ int runScenario(const Options& opts, std::ostream& out, std::ostream& err) {
     err << "colibri-sim: --reps must be >= 1\n";
     return 2;
   }
+  if (opts.hotFraction > 1.0) {
+    err << "colibri-sim: --hot-fraction must be <= 1\n";
+    return 2;
+  }
   if (opts.csv && opts.json) {
     err << "colibri-sim: choose one of --csv and --json\n";
     return 2;
@@ -330,6 +377,8 @@ int runScenario(const Options& opts, std::ostream& out, std::ostream& err) {
       printQueue(opts, specs.front(), res, out);
     } else if (opts.workload == "prodcons") {
       printProdCons(opts, specs.front(), res, out);
+    } else if (wgen::findPreset(opts.workload) != nullptr) {
+      printWgen(opts, res, out);
     } else {
       printMatmul(opts, res, out);
     }

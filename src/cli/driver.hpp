@@ -8,15 +8,15 @@
 
 #include "arch/config.hpp"
 #include "cli/options.hpp"
-#include "cli/scenario.hpp"
+#include "exp/scenario.hpp"
 
 namespace colibri::cli {
 
 /// Build the SystemConfig for the options + adapter. Returns an error
 /// message (and leaves `cfg` unspecified) when the geometry is invalid.
-[[nodiscard]] std::optional<std::string> buildConfig(const Options& opts,
-                                                     const AdapterSpec& adapter,
-                                                     arch::SystemConfig& cfg);
+[[nodiscard]] std::optional<std::string> buildConfig(
+    const Options& opts, const exp::AdapterSpec& adapter,
+    arch::SystemConfig& cfg);
 
 /// Print the scenario registry (the --list output).
 void printScenarios(std::ostream& os, bool csv);

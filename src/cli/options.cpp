@@ -50,7 +50,8 @@ const std::map<std::string, Flag>& flagTable() {
                                "colibri",
                                &Options::adapter)},
       {"--workload", stringFlag("workload: histogram | msqueue | prodcons | "
-                                "matmul | ticket_queue",
+                                "matmul | ticket_queue | a wgen preset "
+                                "(see --list)",
                                 &Options::workload)},
       {"--cores", numberFlag("total cores (default 256)", &Options::cores)},
       {"--cores-per-tile",
@@ -87,6 +88,17 @@ const std::map<std::string, Flag>& flagTable() {
        numberFlag("queue slots; 0 = 2 * cores", &Options::queueCapacity)},
       {"--matmul-n",
        numberFlag("matmul square dimension (default 32)", &Options::matmulN)},
+      {"--zipf-theta",
+       numberFlag("wgen: Zipf skew for zipfian regions (default: preset "
+                  "value)",
+                  &Options::zipfTheta)},
+      {"--hot-fraction",
+       numberFlag("wgen: hot-word probability for hotspot regions "
+                  "(default: preset value)",
+                  &Options::hotFraction)},
+      {"--wgen-words",
+       numberFlag("wgen: words per non-strided region; 0 = preset value",
+                  &Options::wgenWords)},
       {"--seed", numberFlag("RNG seed", &Options::seed)},
       {"--reps",
        numberFlag("independent repetitions (derived seeds); > 1 reports "
@@ -171,6 +183,8 @@ void printUsage(std::ostream& os) {
         "msqueue\n"
         "  colibri-sim --adapter lrsc_single --workload prodcons "
         "--producers 16 --consumers 16\n"
+        "  colibri-sim --adapter colibri --workload zipf_hot "
+        "--zipf-theta 0.99\n"
         "  colibri-sim --list\n";
 }
 

@@ -45,6 +45,14 @@ struct Options {
   std::uint32_t queueCapacity = 0;  ///< msqueue/ticket_queue; 0 = 2*cores
   std::uint32_t matmulN = 32;       ///< matmul dimension
 
+  // --- Workload-generator (wgen preset) overrides --------------------------
+  /// Zipf skew θ for zipfian regions; negative = keep the preset value.
+  double zipfTheta = -1.0;
+  /// Hot-word probability for hotspot regions; negative = preset value.
+  double hotFraction = -1.0;
+  /// Region word count for non-strided regions; 0 = preset value.
+  std::uint32_t wgenWords = 0;
+
   std::uint64_t seed = 0xC011B21;
 
   // --- Experiment execution -----------------------------------------------

@@ -62,6 +62,17 @@ void writeRep(report::JsonWriter& w, const RunResult& r) {
       .kv("tileAreaKge", r.tileAreaKge)
       .kv("energyPerOpPj", r.energyPerOpPj)
       .kv("averagePowerMw", r.averagePowerMw);
+  if (r.opLatency.count > 0) {  // wgen kernels: per-op latency distribution
+    w.key("opLatency").beginObject();
+    w.kv("p50", r.opLatency.p50)
+        .kv("p95", r.opLatency.p95)
+        .kv("p99", r.opLatency.p99)
+        .kv("mean", r.opLatency.mean)
+        .kv("min", r.opLatency.min)
+        .kv("max", r.opLatency.max)
+        .kv("count", static_cast<std::uint64_t>(r.opLatency.count));
+    w.endObject();
+  }
   if (r.workload == "matmul" || r.workload == "interference") {
     w.kv("duration", static_cast<std::uint64_t>(r.duration))
         .kv("macs", r.macs);
@@ -85,7 +96,8 @@ void writeJson(std::ostream& os, const std::vector<RunSpec>& specs,
   COLIBRI_CHECK(specs.size() == results.size());
   report::JsonWriter w(os);
   w.beginObject();
-  w.kv("schema", "colibri-exp-v1");
+  // v2 = v1 plus the optional per-rep "opLatency" block (wgen kernels).
+  w.kv("schema", "colibri-exp-v2");
   w.key("runs").beginArray();
   for (std::size_t i = 0; i < specs.size(); ++i) {
     const auto& spec = specs[i];

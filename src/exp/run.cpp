@@ -49,6 +49,13 @@ struct Dispatcher {
     out.pollerUpdates = r.pollerUpdates;
   }
 
+  void operator()(const wgen::WgenParams& p) const {
+    const auto r = wgen::runKernel(sys, p);
+    out.rate = r.rate;
+    out.verified = r.sumVerified;
+    out.opLatency = r.opLatency;
+  }
+
  private:
   /// Matmul runs to completion instead of over a window; treat the whole
   /// run as the window (stats were never reset) and report MACs as ops.
@@ -76,7 +83,8 @@ WorkloadParams withWindow(WorkloadParams params,
         using T = std::decay_t<decltype(p)>;
         if constexpr (std::is_same_v<T, workloads::HistogramParams> ||
                       std::is_same_v<T, workloads::QueueParams> ||
-                      std::is_same_v<T, workloads::ProdConsParams>) {
+                      std::is_same_v<T, workloads::ProdConsParams> ||
+                      std::is_same_v<T, wgen::WgenParams>) {
           p.window = window;
         }
       },
@@ -114,6 +122,9 @@ const char* workloadNameOf(const WorkloadParams& params) {
     }
     const char* operator()(const workloads::InterferenceParams&) const {
       return "interference";
+    }
+    const char* operator()(const wgen::WgenParams& p) const {
+      return p.kernel.name.empty() ? "wgen" : p.kernel.name.c_str();
     }
   };
   return std::visit(Namer{}, params);

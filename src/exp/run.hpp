@@ -19,6 +19,7 @@
 
 #include "arch/config.hpp"
 #include "model/energy.hpp"
+#include "wgen/kernel.hpp"
 #include "workloads/harness.hpp"
 #include "workloads/histogram.hpp"
 #include "workloads/matmul.hpp"
@@ -33,12 +34,13 @@ namespace colibri::exp {
 using WorkloadParams =
     std::variant<workloads::HistogramParams, workloads::QueueParams,
                  workloads::ProdConsParams, workloads::MatmulParams,
-                 workloads::InterferenceParams>;
+                 workloads::InterferenceParams, wgen::WgenParams>;
 
 /// The workload family a WorkloadParams selects ("histogram", "msqueue",
-/// "prodcons", "matmul", "interference"). QueueParams always reports
-/// "msqueue" — the registry's "ticket_queue" entry runs the same queue
-/// with the kLock variant; set RunSpec::workload to keep that name.
+/// "prodcons", "matmul", "interference"; WgenParams reports its kernel
+/// name). QueueParams always reports "msqueue" — the registry's
+/// "ticket_queue" entry runs the same queue with the kLock variant; set
+/// RunSpec::workload to keep that name.
 [[nodiscard]] const char* workloadNameOf(const WorkloadParams& params);
 
 struct RunSpec {
@@ -72,6 +74,9 @@ struct RunResult {
   bool verified = false;
 
   // --- Workload-specific extras (zero where not applicable) -------------
+  /// wgen kernels: per-op completion latency over the window (count > 0
+  /// identifies a wgen result; p50/p95/p99 feed the latency columns).
+  sim::Summary opLatency{};
   sim::Cycle duration = 0;   ///< matmul/interference: first spawn → done
   std::uint64_t macs = 0;    ///< matmul/interference
   std::uint64_t itemsConsumed = 0;       ///< prodcons: total incl. drain

@@ -1,5 +1,7 @@
 #include "exp/scenario.hpp"
 
+#include "wgen/presets.hpp"
+
 namespace colibri::exp {
 
 const std::vector<AdapterSpec>& adapters() {
@@ -21,18 +23,27 @@ const std::vector<AdapterSpec>& adapters() {
 }
 
 const std::vector<WorkloadSpec>& workloads() {
-  static const std::vector<WorkloadSpec> kWorkloads = {
-      {"histogram",
-       "concurrent histogram: random-bin atomic increments (Figs. 3/4)"},
-      {"msqueue",
-       "MPMC ticket queue, balanced enqueue/dequeue steady state (Fig. 6)"},
-      {"prodcons",
-       "producer/consumer pipeline; consumers sleep (Mwait) or poll"},
-      {"matmul",
-       "SPM-interleaved matrix multiply, the Fig. 5 interference victim"},
-      {"ticket_queue",
-       "lock-based bounded ticket queue (the Fig. 6 'Atomic Add lock' curve)"},
-  };
+  static const std::vector<WorkloadSpec> kWorkloads = [] {
+    std::vector<WorkloadSpec> ws = {
+        {"histogram",
+         "concurrent histogram: random-bin atomic increments (Figs. 3/4)"},
+        {"msqueue",
+         "MPMC ticket queue, balanced enqueue/dequeue steady state (Fig. 6)"},
+        {"prodcons",
+         "producer/consumer pipeline; consumers sleep (Mwait) or poll"},
+        {"matmul",
+         "SPM-interleaved matrix multiply, the Fig. 5 interference victim"},
+        {"ticket_queue",
+         "lock-based bounded ticket queue (the Fig. 6 'Atomic Add lock' "
+         "curve)"},
+    };
+    // Workload-generator presets are first-class workloads: the CLI,
+    // RunSpec dispatch, and SweepRunner treat them like the fixed five.
+    for (const auto& p : wgen::presets()) {
+      ws.push_back({p.spec.name, "wgen: " + p.description});
+    }
+    return ws;
+  }();
   return kWorkloads;
 }
 
@@ -44,11 +55,21 @@ std::vector<Scenario> allScenarios() {
       Scenario s{a, w, /*supported=*/true, /*whyUnsupported=*/{}};
       // prodcons claims tickets with LR/SC (or LRwait/SCwait); the
       // AMO-only adapter rejects reservations, so that pair cannot run.
-      if (a.kind == arch::AdapterKind::kAmoOnly && w.name == "prodcons") {
-        s.supported = false;
-        s.whyUnsupported =
-            "prodcons needs LR/SC at minimum and the AMO-only adapter "
-            "has no reservations";
+      // The same rule gates wgen presets built around CAS loops.
+      if (a.kind == arch::AdapterKind::kAmoOnly) {
+        if (w.name == "prodcons") {
+          s.supported = false;
+          s.whyUnsupported =
+              "prodcons needs LR/SC at minimum and the AMO-only adapter "
+              "has no reservations";
+        } else if (const auto* preset = wgen::findPreset(w.name);
+                   preset != nullptr &&
+                   wgen::needsReservations(preset->spec)) {
+          s.supported = false;
+          s.whyUnsupported = "preset '" + w.name +
+                             "' runs CAS loops and the AMO-only adapter "
+                             "has no reservations";
+        }
       }
       out.push_back(std::move(s));
     }

@@ -26,7 +26,29 @@ Summary Summary::of(std::span<const double> xs) {
   s.median = sorted.size() % 2 == 1
                  ? sorted[mid]
                  : 0.5 * (sorted[mid - 1] + sorted[mid]);
+  s.p50 = percentileSorted(sorted, 0.50);
+  s.p95 = percentileSorted(sorted, 0.95);
+  s.p99 = percentileSorted(sorted, 0.99);
   return s;
+}
+
+double Summary::percentileSorted(std::span<const double> sorted, double q) {
+  if (sorted.empty()) {
+    return 0.0;
+  }
+  if (q <= 0.0) {
+    return sorted.front();
+  }
+  if (q >= 1.0) {
+    return sorted.back();
+  }
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  if (lo + 1 >= sorted.size()) {
+    return sorted.back();
+  }
+  return sorted[lo] + (sorted[lo + 1] - sorted[lo]) *
+                          (pos - static_cast<double>(lo));
 }
 
 Summary Summary::ofCounts(std::span<const std::uint64_t> xs) {

@@ -65,10 +65,17 @@ struct Summary {
   double mean = 0.0;
   double stddev = 0.0;
   double median = 0.0;
+  double p50 = 0.0;  ///< == median (both kept: median predates percentiles)
+  double p95 = 0.0;
+  double p99 = 0.0;
   std::size_t count = 0;
 
   static Summary of(std::span<const double> xs);
   static Summary ofCounts(std::span<const std::uint64_t> xs);
+
+  /// Linearly interpolated quantile over an *ascending-sorted* sample;
+  /// q in [0, 1]. Empty samples yield 0.
+  static double percentileSorted(std::span<const double> sorted, double q);
 
   /// Jain's fairness index: 1.0 = perfectly fair, 1/n = maximally unfair.
   static double jainIndex(std::span<const std::uint64_t> xs);

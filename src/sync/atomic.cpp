@@ -67,7 +67,7 @@ sim::Co<RmwResult> fetchAdd(Core& core, RmwFlavor flavor, Addr a, Word delta,
 
 sim::Co<CasResult> compareAndSwap(Core& core, RmwFlavor flavor, Addr a,
                                   Word expected, Word desired,
-                                  Backoff& backoff) {
+                                  Backoff& backoff, const bool* abandon) {
   COLIBRI_CHECK_MSG(flavor != RmwFlavor::kAmo,
                     "CAS needs a reservation pair (LR/SC or LRwait/SCwait)");
   if (flavor == RmwFlavor::kLrsc) {
@@ -83,6 +83,9 @@ sim::Co<CasResult> compareAndSwap(Core& core, RmwFlavor flavor, Addr a,
         co_return CasResult{expected, true};
       }
       co_await core.delay(backoff.next());
+      if (abandon != nullptr && *abandon) {
+        co_return CasResult{lr.value, false};
+      }
     }
   }
   // kLrscWait: every granted LRwait must be closed with an SCwait so the
@@ -92,6 +95,9 @@ sim::Co<CasResult> compareAndSwap(Core& core, RmwFlavor flavor, Addr a,
     const auto lr = co_await core.lrWait(a);
     if (!lr.ok) {
       co_await core.delay(backoff.next());
+      if (abandon != nullptr && *abandon) {
+        co_return CasResult{0, false};
+      }
       continue;
     }
     co_await core.delay(kRmwComputeCycles);

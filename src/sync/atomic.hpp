@@ -53,8 +53,13 @@ struct CasResult {
 /// Compare-and-swap via the reservation pair (not available for kAmo).
 /// Reservation-based, hence ABA-immune: an SC/SCwait fails on *any*
 /// intervening write, not on a value comparison.
+/// If `abandon` is non-null and becomes true, the retry loop gives up at a
+/// retry point before holding a grant (like fetchAdd) and reports
+/// swapped=false — without this, single-slot LR/SC workers whose SCs keep
+/// losing the bank's reservation can spin past a stop flag forever.
 sim::Co<CasResult> compareAndSwap(Core& core, RmwFlavor flavor, Addr a,
                                   Word expected, Word desired,
-                                  Backoff& backoff);
+                                  Backoff& backoff,
+                                  const bool* abandon = nullptr);
 
 }  // namespace colibri::sync

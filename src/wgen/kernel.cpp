@@ -1,0 +1,318 @@
+#include "wgen/kernel.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "arch/system.hpp"
+#include "sim/check.hpp"
+#include "sim/random.hpp"
+#include "sync/atomic.hpp"
+#include "sync/spinlock.hpp"
+
+namespace colibri::wgen {
+
+namespace {
+
+sync::RmwFlavor rmwFlavorFor(arch::AdapterKind k) {
+  switch (k) {
+    case arch::AdapterKind::kAmoOnly:
+      return sync::RmwFlavor::kAmo;
+    case arch::AdapterKind::kLrscWait:
+    case arch::AdapterKind::kColibri:
+      return sync::RmwFlavor::kLrscWait;
+    default:
+      return sync::RmwFlavor::kLrsc;
+  }
+}
+
+sync::SpinLockKind lockKindFor(arch::AdapterKind k) {
+  switch (k) {
+    case arch::AdapterKind::kAmoOnly:
+      return sync::SpinLockKind::kAmoTas;
+    case arch::AdapterKind::kLrscWait:
+    case arch::AdapterKind::kColibri:
+      return sync::SpinLockKind::kLrwaitTas;
+    default:
+      return sync::SpinLockKind::kLrscTas;
+  }
+}
+
+/// Shared state of one kernel run. Lives on the runKernel stack; worker
+/// frames reference it and are only resumed while the run is active.
+struct WgenCtx {
+  const WgenParams* params = nullptr;
+  std::vector<ResolvedRegion> regions;
+  sync::RmwFlavor rmwFlavor = sync::RmwFlavor::kLrsc;
+  sync::RmwFlavor casFlavor = sync::RmwFlavor::kLrsc;
+  sync::SpinLockKind lockKind = sync::SpinLockKind::kLrscTas;
+  bool stop = false;
+  sim::Cycle windowStart = 0;
+  sim::Cycle windowEnd = 0;
+  std::vector<std::uint64_t> perCoreTotal;       // by participant index
+  std::vector<std::uint64_t> perCoreWindow;
+  std::vector<std::uint64_t> perCoreIncrements;
+  std::vector<std::vector<double>> perCoreLatency;
+};
+
+std::uint32_t pickIndex(const Region& def, const ResolvedRegion& region,
+                        sim::Xoshiro256& rng, std::uint32_t pidx) {
+  const auto range = static_cast<std::uint32_t>(region.addrs.size());
+  switch (def.dist) {
+    case AddrDist::kUniform:
+      return static_cast<std::uint32_t>(rng.below(range));
+    case AddrDist::kZipfian: {
+      const double u = rng.uniform01();
+      const auto it =
+          std::upper_bound(region.cdf.begin(), region.cdf.end(), u);
+      const auto i =
+          static_cast<std::uint32_t>(it - region.cdf.begin());
+      return i < range ? i : range - 1;
+    }
+    case AddrDist::kHotspot:
+      if (range <= 1 || rng.uniform01() < def.hotFraction) {
+        return 0;
+      }
+      return 1 + static_cast<std::uint32_t>(rng.below(range - 1));
+    case AddrDist::kStrided:
+      return pidx % range;
+  }
+  return 0;
+}
+
+sim::Task wgenWorker(arch::System& sys, arch::Core& core, WgenCtx& ctx,
+                     const Role& role, std::uint32_t pidx) {
+  auto rng = sim::Xoshiro256::forStream(sys.config().seed, core.id());
+  sync::Backoff backoff(ctx.params->backoff, rng);
+  std::size_t next = 0;
+
+  while (!ctx.stop) {
+    const Phase& phase = role.phases[next];
+    next = (next + 1) % role.phases.size();
+    const Region& def = ctx.params->kernel.regions[phase.region];
+    const ResolvedRegion& region = ctx.regions[phase.region];
+
+    for (std::uint32_t rep = 0; rep < phase.opsPerVisit && !ctx.stop;
+         ++rep) {
+      if (phase.thinkCycles > 0) {
+        co_await core.delay(phase.thinkCycles);
+        if (ctx.stop) {
+          break;
+        }
+      }
+      const std::uint32_t idx = pickIndex(def, region, rng, pidx);
+      const sim::Addr a = region.addrs[idx];
+      const sim::Cycle start = sys.now();
+      bool performed = false;
+      bool modified = false;
+      switch (phase.op) {
+        case OpClass::kLoad: {
+          (void)co_await core.load(a);
+          performed = true;
+          break;
+        }
+        case OpClass::kRmw: {
+          const auto r = co_await sync::fetchAdd(core, ctx.rmwFlavor, a, 1,
+                                                 backoff, &ctx.stop);
+          performed = modified = r.performed;
+          break;
+        }
+        case OpClass::kCas: {
+          auto expected = (co_await core.load(a)).value;
+          while (true) {
+            const auto r = co_await sync::compareAndSwap(
+                core, ctx.casFlavor, a, expected, expected + 1, backoff,
+                &ctx.stop);
+            if (r.swapped) {
+              performed = modified = true;
+              break;
+            }
+            expected = r.observed;
+            // Each attempt closes its reservation pair, so giving up
+            // between attempts never leaves a dangling LRwait.
+            co_await core.delay(backoff.next());
+            if (ctx.stop) {
+              break;
+            }
+          }
+          break;
+        }
+        case OpClass::kLock: {
+          co_await sync::acquireLock(core, ctx.lockKind, region.locks[idx],
+                                     backoff);
+          const auto v = co_await core.load(a);
+          co_await core.delay(phase.csCycles);
+          // Acked store: the data update must commit before the release
+          // store can be observed (see spinlock.hpp on ordering).
+          (void)co_await core.amoSwap(a, v.value + 1);
+          co_await sync::releaseLock(core, region.locks[idx]);
+          performed = modified = true;
+          break;
+        }
+      }
+      if (performed) {
+        ++ctx.perCoreTotal[pidx];
+        if (modified) {
+          ++ctx.perCoreIncrements[pidx];
+        }
+        const auto now = sys.now();
+        if (now >= ctx.windowStart && now < ctx.windowEnd) {
+          ++ctx.perCoreWindow[pidx];
+          ctx.perCoreLatency[pidx].push_back(
+              static_cast<double>(now - start));
+        }
+      }
+    }
+    if (phase.gapCycles > 0 && !ctx.stop) {
+      co_await core.delay(phase.gapCycles);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<ResolvedRegion> resolveRegions(arch::System& sys,
+                                           const KernelSpec& spec,
+                                           std::uint32_t participants) {
+  validate(spec);
+  std::vector<bool> needsLocks(spec.regions.size(), false);
+  for (const auto& role : spec.roles) {
+    for (const auto& ph : role.phases) {
+      if (ph.op == OpClass::kLock) {
+        needsLocks[ph.region] = true;
+      }
+    }
+  }
+
+  std::vector<ResolvedRegion> out(spec.regions.size());
+  for (std::size_t i = 0; i < spec.regions.size(); ++i) {
+    const Region& def = spec.regions[i];
+    const std::uint32_t range =
+        def.range != 0 ? def.range : std::max(1u, participants);
+    ResolvedRegion& region = out[i];
+    region.addrs.reserve(range);
+    if (def.dist == AddrDist::kStrided) {
+      const auto banks = sys.numBanks();
+      for (std::uint32_t j = 0; j < range; ++j) {
+        const sim::BankId b =
+            def.strideBanks == 0
+                ? 0
+                : static_cast<sim::BankId>(
+                      (static_cast<std::uint64_t>(j) * def.strideBanks) %
+                      banks);
+        region.addrs.push_back(sys.allocator().allocInBank(b));
+      }
+    } else {
+      const sim::Addr base = sys.allocator().allocGlobal(range);
+      for (std::uint32_t j = 0; j < range; ++j) {
+        region.addrs.push_back(base + j);
+      }
+    }
+    for (const auto a : region.addrs) {
+      sys.poke(a, 0);
+    }
+    if (needsLocks[i]) {
+      const sim::Addr base = sys.allocator().allocGlobal(range);
+      region.locks.reserve(range);
+      for (std::uint32_t j = 0; j < range; ++j) {
+        region.locks.push_back(base + j);
+        sys.poke(base + j, 0);
+      }
+    }
+    if (def.dist == AddrDist::kZipfian) {
+      region.cdf = zipfCdf(range, def.zipfTheta);
+    }
+  }
+  return out;
+}
+
+WgenResult runKernel(arch::System& sys, const WgenParams& p) {
+  validate(p.kernel);
+  const auto adapter = sys.config().adapter;
+  if (needsReservations(p.kernel)) {
+    COLIBRI_CHECK_MSG(adapter != arch::AdapterKind::kAmoOnly,
+                      "kernel '" << p.kernel.name
+                                 << "' runs CAS loops and the AMO-only "
+                                    "adapter has no reservations");
+  }
+
+  std::vector<sim::CoreId> cores = p.cores;
+  if (cores.empty()) {
+    cores.resize(sys.numCores());
+    std::iota(cores.begin(), cores.end(), 0);
+  }
+  const auto participants = static_cast<std::uint32_t>(cores.size());
+
+  WgenCtx ctx;
+  ctx.params = &p;
+  ctx.regions = resolveRegions(sys, p.kernel, participants);
+  ctx.rmwFlavor = rmwFlavorFor(adapter);
+  ctx.casFlavor = ctx.rmwFlavor == sync::RmwFlavor::kAmo
+                      ? sync::RmwFlavor::kLrsc  // unreachable (checked above)
+                      : ctx.rmwFlavor;
+  ctx.lockKind = lockKindFor(adapter);
+  ctx.windowStart = p.window.warmup;
+  ctx.windowEnd = p.window.horizon();
+  ctx.perCoreTotal.assign(participants, 0);
+  ctx.perCoreWindow.assign(participants, 0);
+  ctx.perCoreIncrements.assign(participants, 0);
+  ctx.perCoreLatency.assign(participants, {});
+
+  const auto assignment = assignRoles(p.kernel, participants);
+  for (std::uint32_t i = 0; i < participants; ++i) {
+    sys.spawn(cores[i],
+              wgenWorker(sys, sys.core(cores[i]), ctx,
+                         p.kernel.roles[assignment[i]], i));
+  }
+  sys.at(ctx.windowStart, [&sys] { sys.resetStats(); });
+  sys.at(ctx.windowEnd, [&ctx] { ctx.stop = true; });
+
+  sys.runUntil(ctx.windowEnd);
+  const auto counters =
+      workloads::snapshotCounters(sys, p.window.measure, participants);
+  sys.run();  // drain: workers close their pairs and exit
+  sys.rethrowFailures();
+  COLIBRI_CHECK_MSG(sys.allTasksDone(), "wgen workers failed to drain");
+
+  WgenResult res;
+  res.totalOps = std::accumulate(ctx.perCoreTotal.begin(),
+                                 ctx.perCoreTotal.end(), std::uint64_t{0});
+  res.totalIncrements =
+      std::accumulate(ctx.perCoreIncrements.begin(),
+                      ctx.perCoreIncrements.end(), std::uint64_t{0});
+
+  std::uint64_t sum = 0;
+  bool locksFree = true;
+  for (const auto& region : ctx.regions) {
+    for (const auto a : region.addrs) {
+      sum += sys.peek(a);
+    }
+    for (const auto l : region.locks) {
+      locksFree = locksFree && sys.peek(l) == 0;
+    }
+  }
+  res.sumVerified = sum == res.totalIncrements && locksFree;
+  COLIBRI_CHECK_MSG(res.sumVerified,
+                    "wgen sum mismatch: kernel=" << p.kernel.name
+                                                 << " words=" << sum
+                                                 << " increments="
+                                                 << res.totalIncrements
+                                                 << " locksFree="
+                                                 << locksFree);
+
+  res.rate = workloads::summarizeRates(ctx.perCoreWindow, p.window.measure,
+                                       counters);
+
+  std::size_t samples = 0;
+  for (const auto& v : ctx.perCoreLatency) {
+    samples += v.size();
+  }
+  std::vector<double> latencies;
+  latencies.reserve(samples);
+  for (const auto& v : ctx.perCoreLatency) {
+    latencies.insert(latencies.end(), v.begin(), v.end());
+  }
+  res.opLatency = sim::Summary::of(latencies);
+  return res;
+}
+
+}  // namespace colibri::wgen

@@ -1,0 +1,132 @@
+#include "wgen/presets.hpp"
+
+namespace colibri::wgen {
+
+namespace {
+
+Role soloRole(Phase phase) { return Role{"worker", 1.0, {phase}}; }
+
+std::vector<Preset> buildPresets() {
+  std::vector<Preset> out;
+
+  {
+    KernelSpec s;
+    s.name = "uniform_fa";
+    s.regions = {Region{.dist = AddrDist::kUniform, .range = 256}};
+    s.roles = {soloRole(Phase{.region = 0, .op = OpClass::kRmw})};
+    out.push_back({std::move(s),
+                   "uniform fetch-add over 256 words — low-contention "
+                   "baseline"});
+  }
+  {
+    KernelSpec s;
+    s.name = "zipf_hot";
+    s.regions = {Region{
+        .dist = AddrDist::kZipfian, .range = 256, .zipfTheta = 0.99}};
+    s.roles = {soloRole(Phase{.region = 0, .op = OpClass::kRmw})};
+    out.push_back({std::move(s),
+                   "Zipf(0.99)-skewed fetch-add over 256 words — hot-key "
+                   "contention"});
+  }
+  {
+    KernelSpec s;
+    s.name = "hotspot1";
+    s.regions = {Region{
+        .dist = AddrDist::kHotspot, .range = 64, .hotFraction = 0.9}};
+    s.roles = {soloRole(Phase{.region = 0, .op = OpClass::kRmw})};
+    out.push_back({std::move(s),
+                   "90% of fetch-adds hit one hot word, the rest spread "
+                   "over 63"});
+  }
+  {
+    KernelSpec s;
+    s.name = "readers_writers";
+    s.regions = {Region{.dist = AddrDist::kUniform, .range = 64}};
+    s.roles = {
+        Role{"readers", 0.9,
+             {Phase{.region = 0, .op = OpClass::kLoad, .thinkCycles = 2}}},
+        Role{"writers", 0.1,
+             {Phase{.region = 0, .op = OpClass::kRmw, .thinkCycles = 4}}},
+    };
+    out.push_back({std::move(s),
+                   "90% reader cores load, 10% writer cores fetch-add one "
+                   "shared region"});
+  }
+  {
+    KernelSpec s;
+    s.name = "stride_fs";
+    // range 0 = one word per participating core; strideBanks 0 = every
+    // word in the same bank: distinct words, one serializing bank port.
+    s.regions = {Region{
+        .dist = AddrDist::kStrided, .range = 0, .strideBanks = 0}};
+    s.roles = {soloRole(Phase{.region = 0, .op = OpClass::kRmw})};
+    out.push_back({std::move(s),
+                   "each core updates its own word but all words share one "
+                   "bank (false sharing)"});
+  }
+  {
+    KernelSpec s;
+    s.name = "mixed_cas";
+    s.regions = {
+        Region{.dist = AddrDist::kZipfian, .range = 128, .zipfTheta = 0.9},
+        Region{.dist = AddrDist::kUniform, .range = 256},
+    };
+    s.roles = {
+        Role{"cas", 0.5, {Phase{.region = 0, .op = OpClass::kCas}}},
+        Role{"adders", 0.5, {Phase{.region = 1, .op = OpClass::kRmw}}},
+    };
+    out.push_back({std::move(s),
+                   "half the cores CAS-loop on a Zipf-hot region, half "
+                   "fetch-add a uniform one"});
+  }
+  {
+    KernelSpec s;
+    s.name = "burst";
+    s.regions = {Region{
+        .dist = AddrDist::kHotspot, .range = 32, .hotFraction = 0.8}};
+    s.roles = {soloRole(Phase{.region = 0,
+                              .op = OpClass::kRmw,
+                              .opsPerVisit = 8,
+                              .thinkCycles = 0,
+                              .gapCycles = 256})};
+    out.push_back({std::move(s),
+                   "8-op bursts against a hot region separated by 256 idle "
+                   "cycles"});
+  }
+  {
+    KernelSpec s;
+    s.name = "lock_zipf";
+    s.regions = {Region{
+        .dist = AddrDist::kZipfian, .range = 16, .zipfTheta = 0.99}};
+    s.roles = {soloRole(Phase{.region = 0,
+                              .op = OpClass::kLock,
+                              .thinkCycles = 8,
+                              .csCycles = 4})};
+    out.push_back({std::move(s),
+                   "lock-protected critical sections with Zipf-skewed lock "
+                   "popularity"});
+  }
+
+  for (const auto& p : out) {
+    validate(p.spec);  // fail fast at first use, not mid-run
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<Preset>& presets() {
+  static const std::vector<Preset> kPresets = buildPresets();
+  return kPresets;
+}
+
+const Preset* findPreset(const std::string& name) {
+  for (const auto& p : presets()) {
+    if (p.spec.name == name) {
+      return &p;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace colibri::wgen

@@ -1,0 +1,27 @@
+// Curated named kernels — the workload-generator presets the scenario
+// registry exposes as first-class workloads.
+//
+// Every preset runs on the default geometries (the paper's 256-core
+// MemPool and the 16-core smallTest): region ranges fit the SPM and the
+// strided preset sizes itself to the participating core count.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "wgen/spec.hpp"
+
+namespace colibri::wgen {
+
+struct Preset {
+  KernelSpec spec;
+  std::string description;
+};
+
+/// All registered presets, in presentation order.
+[[nodiscard]] const std::vector<Preset>& presets();
+
+/// Look up by KernelSpec name; nullptr if unknown.
+[[nodiscard]] const Preset* findPreset(const std::string& name);
+
+}  // namespace colibri::wgen

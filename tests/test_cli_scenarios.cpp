@@ -11,19 +11,27 @@
 
 #include "cli/driver.hpp"
 #include "cli/options.hpp"
-#include "cli/scenario.hpp"
+#include "exp/scenario.hpp"
 #include "test_util.hpp"
+#include "wgen/presets.hpp"
 
 namespace colibri::cli {
 namespace {
 
+using exp::adapters;
+using exp::allScenarios;
+using exp::findAdapter;
+using exp::findScenario;
+using exp::findWorkload;
+using exp::workloads;
+
 TEST(CliRegistry, EnumeratesAllAdapterWorkloadPairs) {
   const auto& as = adapters();
   const auto& ws = workloads();
-  ASSERT_GE(as.size(), 6u);  // amo, lrsc_single, lrsc_table, lrscwait,
-                             // lrscwait_ideal, colibri
-  ASSERT_GE(ws.size(), 5u);  // histogram, msqueue, prodcons, matmul,
-                             // ticket_queue
+  ASSERT_GE(as.size(), 6u);   // amo, lrsc_single, lrsc_table, lrscwait,
+                              // lrscwait_ideal, colibri
+  ASSERT_GE(ws.size(), 13u);  // histogram, msqueue, prodcons, matmul,
+                              // ticket_queue + >= 8 wgen presets
 
   const auto scenarios = allScenarios();
   EXPECT_EQ(scenarios.size(), as.size() * ws.size());
@@ -47,17 +55,24 @@ TEST(CliRegistry, NamesMatchIssueSurface) {
     EXPECT_TRUE(findAdapter(name).has_value()) << name;
   }
   for (const char* name :
-       {"histogram", "msqueue", "prodcons", "matmul", "ticket_queue"}) {
+       {"histogram", "msqueue", "prodcons", "matmul", "ticket_queue",
+        "uniform_fa", "zipf_hot", "hotspot1", "readers_writers",
+        "stride_fs", "mixed_cas", "burst", "lock_zipf"}) {
     EXPECT_TRUE(findWorkload(name).has_value()) << name;
   }
   EXPECT_FALSE(findAdapter("tsx").has_value());
   EXPECT_FALSE(findWorkload("raytracer").has_value());
 }
 
-TEST(CliRegistry, OnlyAmoProdconsUnsupported) {
+TEST(CliRegistry, OnlyReservationNeedsOnAmoUnsupported) {
   for (const auto& s : allScenarios()) {
-    const bool expectUnsupported =
-        s.adapter.name == "amo" && s.workload.name == "prodcons";
+    bool expectUnsupported = false;
+    if (s.adapter.name == "amo") {
+      const auto* preset = wgen::findPreset(s.workload.name);
+      expectUnsupported =
+          s.workload.name == "prodcons" ||
+          (preset != nullptr && wgen::needsReservations(preset->spec));
+    }
     EXPECT_EQ(s.supported, !expectUnsupported)
         << s.adapter.name << " x " << s.workload.name;
   }
@@ -222,6 +237,70 @@ TEST(CliDriver, UnsupportedScenarioFailsCleanly) {
       runMain({"--adapter", "amo", "--workload", "prodcons"}, out, err);
   EXPECT_EQ(rc, 2);
   EXPECT_NE(err.str().find("not runnable"), std::string::npos) << err.str();
+}
+
+// ---- wgen presets through the CLI -----------------------------------------
+
+TEST(CliWgen, PresetRunPrintsLatencyColumns) {
+  std::ostringstream out, err;
+  const int rc = runMain(smallRun({"--workload", "zipf_hot"}), out, err);
+  EXPECT_EQ(rc, 0) << err.str();
+  for (const char* col : {"lat-p50", "lat-p95", "lat-p99", "ops/cycle"}) {
+    EXPECT_NE(out.str().find(col), std::string::npos) << col << "\n"
+                                                      << out.str();
+  }
+  EXPECT_NE(out.str().find("yes"), std::string::npos) << "sum not verified";
+}
+
+TEST(CliWgen, ListShowsEveryPreset) {
+  std::ostringstream out, err;
+  EXPECT_EQ(runMain({"--list"}, out, err), 0);
+  for (const auto& p : wgen::presets()) {
+    EXPECT_NE(out.str().find(p.spec.name), std::string::npos)
+        << p.spec.name;
+  }
+}
+
+TEST(CliWgen, ThetaFlagChangesTheMeasurementDeterministically) {
+  std::ostringstream flat1, flat2, sharp, err;
+  const auto args = [](const char* theta) {
+    return smallRun({"--workload", "zipf_hot", "--csv", "--zipf-theta",
+                     theta});
+  };
+  EXPECT_EQ(runMain(args("0.0"), flat1, err), 0) << err.str();
+  EXPECT_EQ(runMain(args("0.0"), flat2, err), 0);
+  EXPECT_EQ(runMain(args("1.2"), sharp, err), 0);
+  EXPECT_EQ(flat1.str(), flat2.str()) << "same flags must reproduce";
+  EXPECT_NE(flat1.str(), sharp.str()) << "skew must change the result";
+}
+
+TEST(CliWgen, CasPresetOnAmoFailsCleanly) {
+  std::ostringstream out, err;
+  const int rc =
+      runMain({"--adapter", "amo", "--workload", "mixed_cas"}, out, err);
+  EXPECT_EQ(rc, 2);
+  EXPECT_NE(err.str().find("not runnable"), std::string::npos) << err.str();
+}
+
+TEST(CliWgen, HotFractionAboveOneIsAUsableError) {
+  std::ostringstream out, err;
+  EXPECT_EQ(runMain(smallRun({"--workload", "hotspot1", "--hot-fraction",
+                              "1.5"}),
+                    out, err),
+            2);
+  EXPECT_NE(err.str().find("--hot-fraction"), std::string::npos)
+      << err.str();
+}
+
+TEST(CliWgen, JsonRunCarriesTheLatencyBlock) {
+  std::ostringstream out, err;
+  const int rc =
+      runMain(smallRun({"--workload", "burst", "--json"}), out, err);
+  EXPECT_EQ(rc, 0) << err.str();
+  EXPECT_TRUE(test::isValidJson(out.str())) << out.str();
+  EXPECT_NE(out.str().find("\"opLatency\""), std::string::npos);
+  EXPECT_NE(out.str().find("\"p99\""), std::string::npos);
+  EXPECT_NE(out.str().find("\"workload\": \"burst\""), std::string::npos);
 }
 
 }  // namespace

@@ -20,6 +20,7 @@
 #include "report/json.hpp"
 #include "sim/random.hpp"
 #include "test_util.hpp"
+#include "wgen/presets.hpp"
 
 namespace colibri::exp {
 namespace {
@@ -53,6 +54,22 @@ RunSpec queueSpec(const std::string& adapterName) {
   return spec;
 }
 
+RunSpec wgenSpec(const std::string& adapterName, const char* presetName) {
+  const auto adapter = findAdapter(adapterName);
+  EXPECT_TRUE(adapter.has_value()) << adapterName;
+  const auto* preset = wgen::findPreset(presetName);
+  EXPECT_NE(preset, nullptr) << presetName;
+  RunSpec spec;
+  spec.label = adapterName + "/" + presetName;
+  spec.workload = presetName;
+  spec.config = configFor(*adapter, 8, arch::SystemConfig::smallTest());
+  wgen::WgenParams p;
+  p.kernel = preset->spec;
+  spec.params = p;
+  spec.window = kTestWindow;
+  return spec;
+}
+
 /// The sweep suite: a mix of workloads and adapters, all on the 16-core
 /// test geometry so the whole file stays fast.
 std::vector<RunSpec> testSpecs() {
@@ -60,6 +77,7 @@ std::vector<RunSpec> testSpecs() {
       histogramSpec("colibri", 4),  histogramSpec("lrsc_single", 2),
       histogramSpec("amo", 8),      histogramSpec("lrscwait", 1),
       queueSpec("colibri"),         queueSpec("lrsc_single"),
+      wgenSpec("colibri", "zipf_hot"),
   };
   return specs;
 }
@@ -76,6 +94,8 @@ void expectBitIdentical(const RunResult& a, const RunResult& b) {
   EXPECT_EQ(a.rate.counters.netMessages, b.rate.counters.netMessages);
   EXPECT_EQ(a.verified, b.verified);
   EXPECT_EQ(a.energyPerOpPj, b.energyPerOpPj);
+  EXPECT_EQ(a.opLatency.count, b.opLatency.count);
+  EXPECT_EQ(a.opLatency.p99, b.opLatency.p99);
 }
 
 TEST(ExpRepSeed, RepZeroIsTheBaseSeed) {
@@ -280,7 +300,8 @@ TEST(ExpStats, OfComputesSampleStatistics) {
 TEST(ExpJson, SerializesASweepAsValidJson) {
   auto spec = histogramSpec("colibri", 2);
   spec.repetitions = 2;
-  const std::vector<RunSpec> specs = {spec, queueSpec("colibri")};
+  const std::vector<RunSpec> specs = {spec, queueSpec("colibri"),
+                                      wgenSpec("colibri", "hotspot1")};
   SweepRunner runner(2);
   const auto results = runner.run(specs);
 
@@ -289,11 +310,14 @@ TEST(ExpJson, SerializesASweepAsValidJson) {
   const std::string json = os.str();
 
   EXPECT_TRUE(test::isValidJson(json)) << json;
-  EXPECT_NE(json.find("\"schema\": \"colibri-exp-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\": \"colibri-exp-v2\""), std::string::npos);
   EXPECT_NE(json.find("\"aggregate\""), std::string::npos);
   EXPECT_NE(json.find("\"mean\""), std::string::npos);
   EXPECT_NE(json.find("\"stddev\""), std::string::npos);
   EXPECT_NE(json.find("\"msqueue\""), std::string::npos);
+  // wgen runs (and only they) carry the per-op latency block.
+  EXPECT_NE(json.find("\"opLatency\""), std::string::npos);
+  EXPECT_NE(json.find("\"hotspot1\""), std::string::npos);
 }
 
 TEST(ExpJson, WriterEscapesAndBalances) {

@@ -101,6 +101,41 @@ TEST(Summary, EmptyIsZeros) {
   EXPECT_DOUBLE_EQ(s.mean, 0.0);
 }
 
+TEST(Summary, PercentilesInterpolateLinearly) {
+  // 0..100: q * 100 lands exactly on the interpolated value.
+  std::vector<double> xs(101);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = static_cast<double>(i);
+  }
+  const auto s = Summary::of(xs);
+  EXPECT_DOUBLE_EQ(s.p50, 50.0);
+  EXPECT_DOUBLE_EQ(s.p95, 95.0);
+  EXPECT_DOUBLE_EQ(s.p99, 99.0);
+  EXPECT_DOUBLE_EQ(s.p50, s.median);  // p50 and median agree by definition
+
+  // Interpolation between ranks: p50 of {1, 2, 3, 10} sits halfway.
+  const std::vector<double> four{1, 2, 3, 10};
+  const auto f = Summary::of(four);
+  EXPECT_DOUBLE_EQ(f.p50, 2.5);
+  EXPECT_DOUBLE_EQ(f.p50, f.median);
+  // q = 0.95 over 4 samples: pos = 2.85 → 3 + 0.85 * (10 - 3).
+  EXPECT_DOUBLE_EQ(f.p95, 3.0 + 0.85 * 7.0);
+}
+
+TEST(Summary, PercentileSortedEdgeCases) {
+  EXPECT_DOUBLE_EQ(Summary::percentileSorted({}, 0.5), 0.0);
+  const std::vector<double> one{7.0};
+  EXPECT_DOUBLE_EQ(Summary::percentileSorted(one, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(Summary::percentileSorted(one, 0.99), 7.0);
+  const std::vector<double> two{1.0, 3.0};
+  EXPECT_DOUBLE_EQ(Summary::percentileSorted(two, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Summary::percentileSorted(two, 1.0), 3.0);
+  EXPECT_DOUBLE_EQ(Summary::percentileSorted(two, 0.5), 2.0);
+  const auto s = Summary::of({});
+  EXPECT_DOUBLE_EQ(s.p50, 0.0);
+  EXPECT_DOUBLE_EQ(s.p99, 0.0);
+}
+
 TEST(Summary, JainIndexFairVsUnfair) {
   const std::vector<std::uint64_t> fair{10, 10, 10, 10};
   const std::vector<std::uint64_t> unfair{40, 0, 0, 0};
