@@ -15,6 +15,7 @@ struct PcCtx {
   TicketQueue queue;
   sync::RmwFlavor flavor = sync::RmwFlavor::kLrscWait;
   bool stopProducing = false;
+  std::uint32_t activeProducers = 0;
   std::uint64_t produced = 0;
   std::uint64_t consumed = 0;
   std::uint64_t consumedInWindow = 0;
@@ -33,9 +34,16 @@ sim::Task producerTask(arch::System& sys, arch::Core& core, PcCtx& ctx,
     co_await ctx.queue.enqueue(core, item++, ctx.flavor, useMwait, backoff);
     ++ctx.produced;
   }
+  --ctx.activeProducers;
   if (poisoner) {
     // One designated producer shuts the pipeline down: one poison pill per
-    // consumer (each consumer exits after eating exactly one).
+    // consumer (each consumer exits after eating exactly one). The pills
+    // must be the LAST items in ticket order — a producer still blocked in
+    // its final enqueue could otherwise land behind them and its item would
+    // never be consumed — so wait for every producer to quiesce first.
+    while (ctx.activeProducers > 0) {
+      co_await core.delay(16);
+    }
     for (std::uint32_t i = 0; i < ctx.params.consumers; ++i) {
       co_await ctx.queue.enqueue(core, kPoison, ctx.flavor, useMwait,
                                  backoff);
@@ -78,6 +86,7 @@ ProdConsResult runProdCons(arch::System& sys, const ProdConsParams& p) {
   ctx.flavor =
       waitCapable ? sync::RmwFlavor::kLrscWait : sync::RmwFlavor::kLrsc;
   ctx.queue = TicketQueue::create(sys, p.capacity);
+  ctx.activeProducers = p.producers;
   ctx.windowStart = p.window.warmup;
   ctx.windowEnd = p.window.horizon();
 
