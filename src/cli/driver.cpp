@@ -1,5 +1,6 @@
 #include "cli/driver.hpp"
 
+#include <algorithm>
 #include <exception>
 #include <numeric>
 #include <ostream>
@@ -8,6 +9,7 @@
 #include "exp/run.hpp"
 #include "exp/scenario.hpp"
 #include "exp/sweep.hpp"
+#include "litmus/harness.hpp"
 #include "report/table.hpp"
 #include "sim/check.hpp"
 #include "wgen/presets.hpp"
@@ -82,6 +84,24 @@ std::optional<exp::RunSpec> buildSpec(const Options& opts,
     p.n = opts.matmulN;
     p.workers.resize(opts.cores);
     std::iota(p.workers.begin(), p.workers.end(), 0);
+    spec.params = p;
+  } else if (opts.workload == "hashtable") {
+    workloads::HashTableParams p;
+    p.slots = opts.htSlots;
+    p.keysPerCore = opts.htKeys;
+    p.backoff = backoff;
+    spec.params = p;
+  } else if (opts.workload == "wsdeque") {
+    workloads::WsDequeParams p;
+    p.tasks = opts.wsdTasks;
+    p.taskCycles = opts.taskCycles;
+    // Keep the workload's exponential default: a fixed --backoff livelocks
+    // the top-word CAS storm on the single-slot LR/SC adapter.
+    spec.params = p;
+  } else if (opts.workload == "lockfair") {
+    workloads::LockFairParams p;
+    p.csCycles = opts.csCycles;
+    p.backoff = backoff;
     spec.params = p;
   } else if (const auto* preset = wgen::findPreset(opts.workload)) {
     wgen::WgenParams p;
@@ -246,6 +266,178 @@ void printMatmul(const Options& opts, const exp::SweepResult& res,
   emit(table, out, opts.csv);
 }
 
+void printHashTable(const Options& opts, const exp::SweepResult& res,
+                    std::ostream& out) {
+  const auto& r = res.primary();
+  maybeBanner(out, opts, "colibri-sim: hashtable (lock-free linear "
+                         "probing) on " + opts.adapter);
+  auto headers = rateHeaders();
+  headers.insert(headers.begin() + 3, {"inserts", "lookups"});
+  auto row = rateRow(opts, res);
+  row.insert(row.begin() + 3, {std::to_string(r.inserts),
+                               std::to_string(r.lookups)});
+  appendAggregate(headers, row, opts, res);
+  report::Table table(headers);
+  table.addRow(row);
+  emit(table, out, opts.csv);
+}
+
+void printWsDeque(const Options& opts, const exp::SweepResult& res,
+                  std::ostream& out) {
+  const auto& r = res.primary();
+  maybeBanner(out, opts, "colibri-sim: wsdeque (Chase-Lev work stealing) "
+                         "on " + opts.adapter);
+  std::vector<std::string> headers{"adapter", "cores",       "tasks",
+                                   "cycles",  "owner-pops",  "steals",
+                                   "tasks/cycle", "verified"};
+  std::vector<std::string> row{opts.adapter,
+                               std::to_string(opts.cores),
+                               std::to_string(r.rate.opsInWindow),
+                               std::to_string(r.duration),
+                               std::to_string(r.ownerPops),
+                               std::to_string(r.steals),
+                               report::fmt(res.opsPerCycle.mean, 4),
+                               res.allVerified ? "yes" : "NO"};
+  appendAggregate(headers, row, opts, res);
+  report::Table table(headers);
+  table.addRow(row);
+  emit(table, out, opts.csv);
+}
+
+void printLockFair(const Options& opts, const exp::SweepResult& res,
+                   std::ostream& out) {
+  const auto& r = res.primary();
+  maybeBanner(out, opts,
+              "colibri-sim: lockfair (TAS handoff/fairness) on " +
+                  opts.adapter);
+  std::vector<std::string> headers{
+      "adapter",  "cores",    "acq/cycle", "acqs",     "jain",
+      "acq-min",  "acq-max",  "wait-p50",  "wait-p99", "verified"};
+  std::vector<std::string> row{
+      opts.adapter,
+      std::to_string(opts.cores),
+      report::fmt(res.opsPerCycle.mean, 4),
+      std::to_string(r.rate.opsInWindow),
+      report::fmt(r.rate.fairnessJain, 3),
+      report::fmt(r.acqSpread.min, 0),
+      report::fmt(r.acqSpread.max, 0),
+      report::fmt(r.opLatency.p50, 1),
+      report::fmt(r.opLatency.p99, 1),
+      res.allVerified ? "yes" : "NO"};
+  appendAggregate(headers, row, opts, res);
+  report::Table table(headers);
+  table.addRow(row);
+  emit(table, out, opts.csv);
+}
+
+std::string litmusAlgorithmList() {
+  std::string names;
+  for (const auto& info : litmus::algorithms()) {
+    if (!names.empty()) {
+      names += " | ";
+    }
+    names += info.name;
+  }
+  return names + " | all";
+}
+
+int runLitmusMode(const Options& opts, std::ostream& out, std::ostream& err) {
+  std::vector<const litmus::AlgorithmInfo*> algos;
+  if (opts.litmus == "all" || opts.litmus.empty()) {
+    for (const auto& info : litmus::algorithms()) {
+      algos.push_back(&info);
+    }
+  } else if (const auto* info = litmus::findAlgorithm(opts.litmus)) {
+    algos.push_back(info);
+  } else {
+    err << "colibri-sim: unknown litmus algorithm '" << opts.litmus
+        << "' (choose from: " << litmusAlgorithmList() << ")\n";
+    return 2;
+  }
+  std::vector<exp::AdapterSpec> adapterSpecs;
+  if (opts.litmusMatrix) {
+    adapterSpecs = exp::adapters();
+  } else {
+    const auto adapter = exp::findAdapter(opts.adapter);
+    if (!adapter) {
+      err << "colibri-sim: unknown adapter '" << opts.adapter
+          << "' (choose from: " << exp::adapterNameList() << ")\n";
+      return 2;
+    }
+    adapterSpecs.push_back(*adapter);
+  }
+  if (opts.litmusIters == 0) {
+    err << "colibri-sim: --litmus-iters must be >= 1\n";
+    return 2;
+  }
+  if (opts.json) {
+    err << "colibri-sim: litmus mode has no --json output (use --csv)\n";
+    return 2;
+  }
+
+  std::vector<litmus::MatrixCase> cases;
+  for (const auto& adapter : adapterSpecs) {
+    arch::SystemConfig cfg;
+    if (const auto geomError = buildConfig(opts, adapter, cfg)) {
+      err << "colibri-sim: " << *geomError << "\n";
+      return 2;
+    }
+    for (const auto* info : algos) {
+      litmus::MatrixCase c;
+      c.adapter = adapter;
+      c.config = cfg;
+      c.params.algo = info->algo;
+      c.params.iterations = opts.litmusIters;
+      c.params.fenced = !opts.unfenced;
+      c.params.backoff = sync::BackoffPolicy::fixed(opts.backoffCycles);
+      auto n = opts.contenders != 0 ? opts.contenders
+                                    : info->defaultContenders;
+      n = std::min(n, std::min(info->maxContenders, cfg.numCores));
+      if (n < info->minContenders) {
+        err << "colibri-sim: litmus '" << info->name << "' needs at least "
+            << info->minContenders << " contending cores\n";
+        return 2;
+      }
+      c.params.contenders = n;
+      cases.push_back(std::move(c));
+    }
+  }
+
+  try {
+    const auto results = litmus::runMatrix(cases, opts.threads);
+    maybeBanner(out, opts,
+                "colibri-sim: litmus (" +
+                    std::string(opts.unfenced ? "unfenced" : "fenced") +
+                    " protocol stores)");
+    report::Table table({"adapter", "algorithm", "contenders", "entries",
+                         "expected", "overlap", "lost", "progress",
+                         "result"});
+    bool allPass = true;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const auto& r = results[i];
+      const auto& info = litmus::infoFor(cases[i].params.algo);
+      const bool ok = litmus::passes(info, r);
+      allPass = allPass && ok;
+      const char* verdict =
+          ok ? (info.expectExclusion ? "PASS" : "PASS (caught)") : "FAIL";
+      table.addRow({r.adapter, r.algorithm, std::to_string(r.contenders),
+                    std::to_string(r.entries),
+                    std::to_string(r.expectedEntries),
+                    std::to_string(r.exclusionViolations),
+                    std::to_string(r.lostUpdates),
+                    r.progressOk ? "yes" : "NO", verdict});
+    }
+    emit(table, out, opts.csv);
+    return allPass ? 0 : 1;
+  } catch (const sim::InvariantViolation& e) {
+    err << "colibri-sim: simulation invariant violated: " << e.what() << "\n";
+    return 1;
+  } catch (const std::exception& e) {
+    err << "colibri-sim: error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
 }  // namespace
 
 std::optional<std::string> buildConfig(const Options& opts,
@@ -294,6 +486,9 @@ void printScenarios(std::ostream& os, bool csv) {
 }
 
 int runScenario(const Options& opts, std::ostream& out, std::ostream& err) {
+  if (!opts.litmus.empty() || opts.litmusMatrix) {
+    return runLitmusMode(opts, out, err);
+  }
   const auto adapter = exp::findAdapter(opts.adapter);
   if (!adapter) {
     err << "colibri-sim: unknown adapter '" << opts.adapter
@@ -328,6 +523,11 @@ int runScenario(const Options& opts, std::ostream& out, std::ostream& err) {
   }
   if (opts.workload == "matmul" && opts.matmulN == 0) {
     err << "colibri-sim: --matmul-n must be >= 1\n";
+    return 2;
+  }
+  if (opts.workload == "wsdeque" && opts.cores < 2) {
+    err << "colibri-sim: wsdeque needs --cores >= 2 (an owner and a "
+           "thief)\n";
     return 2;
   }
   if (opts.workload == "prodcons" &&
@@ -377,6 +577,12 @@ int runScenario(const Options& opts, std::ostream& out, std::ostream& err) {
       printQueue(opts, specs.front(), res, out);
     } else if (opts.workload == "prodcons") {
       printProdCons(opts, specs.front(), res, out);
+    } else if (opts.workload == "hashtable") {
+      printHashTable(opts, res, out);
+    } else if (opts.workload == "wsdeque") {
+      printWsDeque(opts, res, out);
+    } else if (opts.workload == "lockfair") {
+      printLockFair(opts, res, out);
     } else if (wgen::findPreset(opts.workload) != nullptr) {
       printWgen(opts, res, out);
     } else {

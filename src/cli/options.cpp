@@ -88,6 +88,20 @@ const std::map<std::string, Flag>& flagTable() {
        numberFlag("queue slots; 0 = 2 * cores", &Options::queueCapacity)},
       {"--matmul-n",
        numberFlag("matmul square dimension (default 32)", &Options::matmulN)},
+      {"--ht-slots",
+       numberFlag("hashtable slots; 0 = 16 * cores", &Options::htSlots)},
+      {"--ht-keys",
+       numberFlag("hashtable inserts per core; 0 = equal share of half "
+                  "the table",
+                  &Options::htKeys)},
+      {"--wsd-tasks",
+       numberFlag("wsdeque ring size; 0 = 8 * cores", &Options::wsdTasks)},
+      {"--task-cycles",
+       numberFlag("wsdeque compute cycles per task (default 12)",
+                  &Options::taskCycles)},
+      {"--cs-cycles",
+       numberFlag("lockfair critical-section cycles (default 8)",
+                  &Options::csCycles)},
       {"--zipf-theta",
        numberFlag("wgen: Zipf skew for zipfian regions (default: preset "
                   "value)",
@@ -100,6 +114,24 @@ const std::map<std::string, Flag>& flagTable() {
        numberFlag("wgen: words per non-strided region; 0 = preset value",
                   &Options::wgenWords)},
       {"--seed", numberFlag("RNG seed", &Options::seed)},
+      {"--litmus",
+       stringFlag("run a litmus algorithm instead of a workload: dekker | "
+                  "peterson | bakery | tas | naive | race | all",
+                  &Options::litmus)},
+      {"--contenders",
+       numberFlag("litmus: contending cores; 0 = algorithm default",
+                  &Options::contenders)},
+      {"--litmus-iters",
+       numberFlag("litmus: critical-section entries per contender "
+                  "(default 40)",
+                  &Options::litmusIters)},
+      {"--litmus-matrix",
+       boolFlag("litmus: sweep every adapter (ignores --adapter)",
+                &Options::litmusMatrix)},
+      {"--unfenced",
+       boolFlag("litmus: posted protocol stores (memory-model probe; "
+                "flag algorithms may violate exclusion)",
+                &Options::unfenced)},
       {"--reps",
        numberFlag("independent repetitions (derived seeds); > 1 reports "
                   "mean/stddev (default 1)",
@@ -185,6 +217,8 @@ void printUsage(std::ostream& os) {
         "--producers 16 --consumers 16\n"
         "  colibri-sim --adapter colibri --workload zipf_hot "
         "--zipf-theta 0.99\n"
+        "  colibri-sim --litmus all --litmus-matrix --cores 16\n"
+        "  colibri-sim --litmus dekker --unfenced --cores 16\n"
         "  colibri-sim --list\n";
 }
 

@@ -44,6 +44,11 @@ struct Options {
   std::uint32_t consumers = 8;      ///< prodcons
   std::uint32_t queueCapacity = 0;  ///< msqueue/ticket_queue; 0 = 2*cores
   std::uint32_t matmulN = 32;       ///< matmul dimension
+  std::uint32_t htSlots = 0;        ///< hashtable size; 0 = 16*cores
+  std::uint32_t htKeys = 0;         ///< hashtable inserts/core; 0 = share
+  std::uint32_t wsdTasks = 0;       ///< wsdeque ring size; 0 = 8*cores
+  std::uint32_t taskCycles = 12;    ///< wsdeque compute per task
+  std::uint32_t csCycles = 8;       ///< lockfair critical-section cycles
 
   // --- Workload-generator (wgen preset) overrides --------------------------
   /// Zipf skew θ for zipfian regions; negative = keep the preset value.
@@ -54,6 +59,19 @@ struct Options {
   std::uint32_t wgenWords = 0;
 
   std::uint64_t seed = 0xC011B21;
+
+  // --- Litmus mode --------------------------------------------------------
+  /// Litmus algorithm name ("dekker" | "peterson" | "bakery" | "tas" |
+  /// "naive" | "race") or "all"; empty = normal workload mode.
+  std::string litmus;
+  /// Contending cores; 0 = the algorithm's default (clamped to its range).
+  std::uint32_t contenders = 0;
+  std::uint32_t litmusIters = 40;  ///< CS entries per contender
+  /// Run the full algorithm x adapter matrix instead of one adapter.
+  bool litmusMatrix = false;
+  /// Posted (unfenced) protocol stores: the memory-model probe that lets
+  /// the flag algorithms' store->load race actually happen.
+  bool unfenced = false;
 
   // --- Experiment execution -----------------------------------------------
   /// Independent repetitions with derived seeds; > 1 reports aggregate

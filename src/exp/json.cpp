@@ -85,6 +85,24 @@ void writeRep(report::JsonWriter& w, const RunResult& r) {
         .kv("consumerSleepFraction", r.consumerSleepFraction)
         .kv("consumerRequestsPerItem", r.consumerRequestsPerItem);
   }
+  if (r.workload == "hashtable") {
+    w.kv("inserts", r.inserts).kv("lookups", r.lookups);
+  }
+  if (r.workload == "wsdeque") {
+    w.kv("duration", static_cast<std::uint64_t>(r.duration))
+        .kv("steals", r.steals)
+        .kv("ownerPops", r.ownerPops);
+  }
+  if (r.workload == "lockfair") {
+    w.key("acqSpread").beginObject();
+    w.kv("min", r.acqSpread.min)
+        .kv("max", r.acqSpread.max)
+        .kv("mean", r.acqSpread.mean)
+        .kv("p50", r.acqSpread.p50)
+        .kv("p95", r.acqSpread.p95)
+        .kv("p99", r.acqSpread.p99);
+    w.endObject();
+  }
   writeCounters(w, r.rate.counters);
   w.endObject();
 }

@@ -56,6 +56,38 @@ struct Dispatcher {
     out.opLatency = r.opLatency;
   }
 
+  void operator()(const workloads::HashTableParams& p) const {
+    const auto r = workloads::runHashTable(sys, p);
+    out.rate = r.rate;
+    out.verified = r.verified;
+    out.inserts = r.inserts;
+    out.lookups = r.lookups;
+  }
+
+  void operator()(const workloads::WsDequeParams& p) const {
+    // Completion-style like matmul: the whole run is the window and the
+    // executed task count is the op count.
+    const auto r = workloads::runWsDeque(sys, p);
+    out.duration = r.duration;
+    out.steals = r.steals;
+    out.ownerPops = r.ownerPops;
+    out.verified = r.verified;
+    out.rate.counters = r.counters;
+    out.rate.opsInWindow = r.executed;
+    out.rate.opsPerCycle = r.duration > 0
+                               ? static_cast<double>(r.executed) /
+                                     static_cast<double>(r.duration)
+                               : 0.0;
+  }
+
+  void operator()(const workloads::LockFairParams& p) const {
+    const auto r = workloads::runLockFair(sys, p);
+    out.rate = r.rate;
+    out.verified = r.verified;
+    out.acqSpread = r.acqSpread;
+    out.opLatency = r.handoff;
+  }
+
  private:
   /// Matmul runs to completion instead of over a window; treat the whole
   /// run as the window (stats were never reset) and report MACs as ops.
@@ -84,7 +116,9 @@ WorkloadParams withWindow(WorkloadParams params,
         if constexpr (std::is_same_v<T, workloads::HistogramParams> ||
                       std::is_same_v<T, workloads::QueueParams> ||
                       std::is_same_v<T, workloads::ProdConsParams> ||
-                      std::is_same_v<T, wgen::WgenParams>) {
+                      std::is_same_v<T, wgen::WgenParams> ||
+                      std::is_same_v<T, workloads::HashTableParams> ||
+                      std::is_same_v<T, workloads::LockFairParams>) {
           p.window = window;
         }
       },
@@ -125,6 +159,15 @@ const char* workloadNameOf(const WorkloadParams& params) {
     }
     const char* operator()(const wgen::WgenParams& p) const {
       return p.kernel.name.empty() ? "wgen" : p.kernel.name.c_str();
+    }
+    const char* operator()(const workloads::HashTableParams&) const {
+      return "hashtable";
+    }
+    const char* operator()(const workloads::WsDequeParams&) const {
+      return "wsdeque";
+    }
+    const char* operator()(const workloads::LockFairParams&) const {
+      return "lockfair";
     }
   };
   return std::visit(Namer{}, params);

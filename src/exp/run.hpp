@@ -21,10 +21,13 @@
 #include "model/energy.hpp"
 #include "wgen/kernel.hpp"
 #include "workloads/harness.hpp"
+#include "workloads/hashtable.hpp"
 #include "workloads/histogram.hpp"
+#include "workloads/lockfair.hpp"
 #include "workloads/matmul.hpp"
 #include "workloads/msqueue.hpp"
 #include "workloads/prodcons.hpp"
+#include "workloads/wsdeque.hpp"
 
 namespace colibri::exp {
 
@@ -34,7 +37,9 @@ namespace colibri::exp {
 using WorkloadParams =
     std::variant<workloads::HistogramParams, workloads::QueueParams,
                  workloads::ProdConsParams, workloads::MatmulParams,
-                 workloads::InterferenceParams, wgen::WgenParams>;
+                 workloads::InterferenceParams, wgen::WgenParams,
+                 workloads::HashTableParams, workloads::WsDequeParams,
+                 workloads::LockFairParams>;
 
 /// The workload family a WorkloadParams selects ("histogram", "msqueue",
 /// "prodcons", "matmul", "interference"; WgenParams reports its kernel
@@ -83,6 +88,13 @@ struct RunResult {
   double consumerSleepFraction = 0.0;    ///< prodcons
   double consumerRequestsPerItem = 0.0;  ///< prodcons
   std::uint64_t pollerUpdates = 0;       ///< interference
+  std::uint64_t inserts = 0;             ///< hashtable: successful inserts
+  std::uint64_t lookups = 0;             ///< hashtable: completed lookups
+  std::uint64_t steals = 0;              ///< wsdeque: tasks thieves won
+  std::uint64_t ownerPops = 0;           ///< wsdeque: tasks the owner took
+  /// lockfair: per-core window acquisition-count spread (count > 0
+  /// identifies a lockfair result; its handoff latencies reuse opLatency).
+  sim::Summary acqSpread{};
 
   // --- Model outputs (Table I / Table II, from the same counters) -------
   double tileAreaKge = 0.0;  ///< area of one tile with this adapter config

@@ -36,6 +36,13 @@ const std::vector<WorkloadSpec>& workloads() {
         {"ticket_queue",
          "lock-based bounded ticket queue (the Fig. 6 'Atomic Add lock' "
          "curve)"},
+        {"hashtable",
+         "lock-free linear-probing hash table: CAS inserts, probe lookups"},
+        {"wsdeque",
+         "Chase-Lev work-stealing deque drained to completion (exactly-once "
+         "checked)"},
+        {"lockfair",
+         "TAS spin-lock fairness/handoff study: per-core acquisition spread"},
     };
     // Workload-generator presets are first-class workloads: the CLI,
     // RunSpec dispatch, and SweepRunner treat them like the fixed five.
@@ -62,6 +69,11 @@ std::vector<Scenario> allScenarios() {
           s.whyUnsupported =
               "prodcons needs LR/SC at minimum and the AMO-only adapter "
               "has no reservations";
+        } else if (w.name == "hashtable" || w.name == "wsdeque") {
+          s.supported = false;
+          s.whyUnsupported = w.name +
+                             " claims words with CAS and the AMO-only "
+                             "adapter has no reservations";
         } else if (const auto* preset = wgen::findPreset(w.name);
                    preset != nullptr &&
                    wgen::needsReservations(preset->spec)) {

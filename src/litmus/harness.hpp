@@ -1,0 +1,53 @@
+// The litmus harness: run one algorithm on a System and check its
+// invariants, or sweep the whole algorithm x adapter x seed matrix in
+// parallel (deterministically — each cell owns a fresh System seeded from
+// its case alone, so results are bit-identical for any thread count).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/config.hpp"
+#include "exp/scenario.hpp"
+#include "litmus/litmus.hpp"
+
+namespace colibri::arch {
+class System;
+}
+
+namespace colibri::litmus {
+
+/// Run one litmus case on `sys` (which must be freshly constructed — the
+/// harness allocates its words from the system allocator). Throws
+/// sim::InvariantViolation on harness-level failures (tasks not draining,
+/// phantom counter increments); algorithm-level violations are *reported*
+/// in the result, not thrown — the broken naive lock is supposed to fail.
+[[nodiscard]] LitmusResult runLitmus(arch::System& sys,
+                                     const LitmusParams& params);
+
+/// One cell of the algorithm x adapter x seed matrix.
+struct MatrixCase {
+  exp::AdapterSpec adapter;
+  LitmusParams params;
+  arch::SystemConfig config;  ///< geometry + seed, adapter already applied
+};
+
+/// The expected-behavior pass criterion for a result: algorithms that
+/// promise exclusion must hold every invariant; the broken naive lock
+/// passes when the harness *detected* its violation (and it still made
+/// progress).
+[[nodiscard]] bool passes(const AlgorithmInfo& info, const LitmusResult& r);
+
+/// Build the full matrix: every adapter x every algorithm x every seed on
+/// the `base` geometry, with each algorithm at its default contender count
+/// (clamped to the geometry).
+[[nodiscard]] std::vector<MatrixCase> buildMatrix(
+    const std::vector<std::uint64_t>& seeds, const arch::SystemConfig& base,
+    std::uint32_t iterations = 40);
+
+/// Run the cases through exp::SweepRunner::map. Results are in case order
+/// and bit-identical across reruns and thread counts.
+[[nodiscard]] std::vector<LitmusResult> runMatrix(
+    const std::vector<MatrixCase>& cases, unsigned threads = 0);
+
+}  // namespace colibri::litmus

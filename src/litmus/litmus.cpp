@@ -1,0 +1,67 @@
+#include "litmus/litmus.hpp"
+
+#include "sim/check.hpp"
+
+namespace colibri::litmus {
+
+const char* toString(Algorithm a) {
+  switch (a) {
+    case Algorithm::kDekker:
+      return "dekker";
+    case Algorithm::kPeterson:
+      return "peterson";
+    case Algorithm::kBakery:
+      return "bakery";
+    case Algorithm::kTasLock:
+      return "tas";
+    case Algorithm::kNaiveLock:
+      return "naive";
+    case Algorithm::kIncrementRace:
+      return "race";
+  }
+  return "?";
+}
+
+const std::vector<AlgorithmInfo>& algorithms() {
+  static const std::vector<AlgorithmInfo> kAlgorithms = {
+      {Algorithm::kDekker, "dekker",
+       "Dekker's algorithm: flags + turn word, 2 contenders", 2, 2, 2, true},
+      {Algorithm::kPeterson, "peterson",
+       "Peterson's algorithm: flags + victim word, 2 contenders", 2, 2, 2,
+       true},
+      {Algorithm::kBakery, "bakery",
+       "Lamport's bakery: choosing flags + tickets, N contenders", 2, 16, 4,
+       true},
+      {Algorithm::kTasLock, "tas",
+       "test-and-set spin lock baseline (adapter-matched TAS)", 2, 256, 8,
+       true},
+      {Algorithm::kNaiveLock, "naive",
+       "BROKEN load-check-then-store lock: the harness must catch it", 2,
+       256, 4, false},
+      {Algorithm::kIncrementRace, "race",
+       "mixed LL/SC-vs-CAS increments on one shared counter", 2, 256, 8,
+       true},
+  };
+  return kAlgorithms;
+}
+
+const AlgorithmInfo* findAlgorithm(const std::string& name) {
+  for (const auto& info : algorithms()) {
+    if (info.name == name) {
+      return &info;
+    }
+  }
+  return nullptr;
+}
+
+const AlgorithmInfo& infoFor(Algorithm a) {
+  for (const auto& info : algorithms()) {
+    if (info.algo == a) {
+      return info;
+    }
+  }
+  COLIBRI_CHECK_MSG(false, "algorithm missing from registry");
+  return algorithms().front();  // unreachable
+}
+
+}  // namespace colibri::litmus

@@ -13,30 +13,6 @@ namespace colibri::wgen {
 
 namespace {
 
-sync::RmwFlavor rmwFlavorFor(arch::AdapterKind k) {
-  switch (k) {
-    case arch::AdapterKind::kAmoOnly:
-      return sync::RmwFlavor::kAmo;
-    case arch::AdapterKind::kLrscWait:
-    case arch::AdapterKind::kColibri:
-      return sync::RmwFlavor::kLrscWait;
-    default:
-      return sync::RmwFlavor::kLrsc;
-  }
-}
-
-sync::SpinLockKind lockKindFor(arch::AdapterKind k) {
-  switch (k) {
-    case arch::AdapterKind::kAmoOnly:
-      return sync::SpinLockKind::kAmoTas;
-    case arch::AdapterKind::kLrscWait:
-    case arch::AdapterKind::kColibri:
-      return sync::SpinLockKind::kLrwaitTas;
-    default:
-      return sync::SpinLockKind::kLrscTas;
-  }
-}
-
 /// Shared state of one kernel run. Lives on the runKernel stack; worker
 /// frames reference it and are only resumed while the run is active.
 struct WgenCtx {
@@ -245,11 +221,11 @@ WgenResult runKernel(arch::System& sys, const WgenParams& p) {
   WgenCtx ctx;
   ctx.params = &p;
   ctx.regions = resolveRegions(sys, p.kernel, participants);
-  ctx.rmwFlavor = rmwFlavorFor(adapter);
+  ctx.rmwFlavor = workloads::rmwFlavorFor(adapter);
   ctx.casFlavor = ctx.rmwFlavor == sync::RmwFlavor::kAmo
                       ? sync::RmwFlavor::kLrsc  // unreachable (checked above)
                       : ctx.rmwFlavor;
-  ctx.lockKind = lockKindFor(adapter);
+  ctx.lockKind = workloads::lockKindFor(adapter);
   ctx.windowStart = p.window.warmup;
   ctx.windowEnd = p.window.horizon();
   ctx.perCoreTotal.assign(participants, 0);

@@ -4,6 +4,30 @@
 
 namespace colibri::workloads {
 
+sync::RmwFlavor rmwFlavorFor(arch::AdapterKind k) {
+  switch (k) {
+    case arch::AdapterKind::kAmoOnly:
+      return sync::RmwFlavor::kAmo;
+    case arch::AdapterKind::kLrscWait:
+    case arch::AdapterKind::kColibri:
+      return sync::RmwFlavor::kLrscWait;
+    default:
+      return sync::RmwFlavor::kLrsc;
+  }
+}
+
+sync::SpinLockKind lockKindFor(arch::AdapterKind k) {
+  switch (k) {
+    case arch::AdapterKind::kAmoOnly:
+      return sync::SpinLockKind::kAmoTas;
+    case arch::AdapterKind::kLrscWait:
+    case arch::AdapterKind::kColibri:
+      return sync::SpinLockKind::kLrwaitTas;
+    default:
+      return sync::SpinLockKind::kLrscTas;
+  }
+}
+
 SystemCounters snapshotCounters(arch::System& sys, Cycle windowCycles,
                                 std::uint32_t participants) {
   SystemCounters s;

@@ -17,10 +17,20 @@
 #include "arch/system.hpp"
 #include "sim/stats.hpp"
 #include "sim/types.hpp"
+#include "sync/atomic.hpp"
+#include "sync/spinlock.hpp"
 
 namespace colibri::workloads {
 
 using sim::Cycle;
+
+/// The RMW flavor each adapter natively runs (AMO adds on the AMO-only
+/// adapter, LRwait/SCwait on wait-capable ones, plain LR/SC otherwise) —
+/// the mapping every workload kernel shares.
+[[nodiscard]] sync::RmwFlavor rmwFlavorFor(arch::AdapterKind k);
+
+/// The TAS spin-lock kind each adapter natively runs.
+[[nodiscard]] sync::SpinLockKind lockKindFor(arch::AdapterKind k);
 
 struct MeasureWindow {
   Cycle warmup = 3000;

@@ -70,7 +70,8 @@ TEST(CliRegistry, OnlyReservationNeedsOnAmoUnsupported) {
     if (s.adapter.name == "amo") {
       const auto* preset = wgen::findPreset(s.workload.name);
       expectUnsupported =
-          s.workload.name == "prodcons" ||
+          s.workload.name == "prodcons" || s.workload.name == "hashtable" ||
+          s.workload.name == "wsdeque" ||
           (preset != nullptr && wgen::needsReservations(preset->spec));
     }
     EXPECT_EQ(s.supported, !expectUnsupported)

@@ -1,0 +1,151 @@
+// Golden-output corpus: every supported CLI scenario (all adapters x all
+// registered workloads, including the eight wgen presets and the three
+// data-structure workloads), the litmus tables, the scenario listing, and
+// a sample of --json documents are compared byte-for-byte against files
+// committed under tests/golden/.
+//
+// The simulator is bit-deterministic, so any diff here is a real output
+// change: either a regression (fix the code) or an intended change —
+// regenerate with
+//
+//   COLIBRI_GOLDEN_REGEN=1 ctest -R test_golden
+//
+// and commit the updated files with the change that caused them.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli/driver.hpp"
+#include "exp/scenario.hpp"
+
+namespace colibri {
+namespace {
+
+namespace fs = std::filesystem;
+
+#ifndef COLIBRI_GOLDEN_DIR
+#error "COLIBRI_GOLDEN_DIR must point at tests/golden"
+#endif
+
+const fs::path kGoldenDir = COLIBRI_GOLDEN_DIR;
+
+bool regenerating() {
+  const char* v = std::getenv("COLIBRI_GOLDEN_REGEN");
+  return v != nullptr && *v != '\0' && std::string(v) != "0";
+}
+
+/// The small deterministic geometry every golden case runs on.
+std::vector<std::string> baseArgs() {
+  return {"--cores",          "16", "--cores-per-tile", "4",
+          "--tiles-per-group", "2",  "--banks-per-tile", "4",
+          "--words-per-bank",  "64", "--warmup",         "500",
+          "--measure",         "2000"};
+}
+
+struct GoldenCase {
+  std::string name;  ///< file name under tests/golden/
+  std::vector<std::string> args;
+  int expectedRc = 0;
+};
+
+std::vector<GoldenCase> goldenCases() {
+  std::vector<GoldenCase> cases;
+  // Every supported adapter x workload pair as CSV.
+  for (const auto& s : exp::allScenarios()) {
+    if (!s.supported) {
+      continue;
+    }
+    auto args = baseArgs();
+    args.insert(args.end(), {"--adapter", s.adapter.name, "--workload",
+                             s.workload.name, "--csv"});
+    if (s.workload.name == "matmul") {
+      args.insert(args.end(), {"--matmul-n", "8"});
+    }
+    cases.push_back(
+        {s.adapter.name + "__" + s.workload.name + ".csv", args});
+  }
+  // JSON documents (per-rep + aggregate) for a cross-section of workload
+  // families on one adapter.
+  for (const char* w :
+       {"histogram", "hashtable", "wsdeque", "lockfair", "uniform_fa"}) {
+    auto args = baseArgs();
+    args.insert(args.end(), {"--adapter", "colibri", "--workload", w,
+                             "--json", "--reps", "2"});
+    cases.push_back({std::string("json__colibri__") + w + ".json", args});
+  }
+  // Litmus: the full fenced matrix, and the unfenced Dekker memory-model
+  // probe (which deliberately FAILs its exclusion expectation -> exit 1).
+  {
+    auto args = baseArgs();
+    args.insert(args.end(),
+                {"--litmus", "all", "--litmus-matrix", "--csv"});
+    cases.push_back({"litmus__matrix.csv", args});
+  }
+  {
+    auto args = baseArgs();
+    args.insert(args.end(), {"--adapter", "lrsc_table", "--litmus", "dekker",
+                             "--unfenced", "--csv"});
+    cases.push_back({"litmus__dekker_unfenced.csv", args, 1});
+  }
+  cases.push_back({"list.csv", {"--list", "--csv"}});
+  return cases;
+}
+
+std::string readFile(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(Golden, EveryScenarioMatchesItsCommittedOutput) {
+  const auto cases = goldenCases();
+  ASSERT_GT(cases.size(), 80u);  // 6 adapters x 16 workloads minus amo gaps
+  if (regenerating()) {
+    fs::create_directories(kGoldenDir);
+  }
+  for (const auto& c : cases) {
+    std::ostringstream out;
+    std::ostringstream err;
+    const int rc = cli::runMain(c.args, out, err);
+    EXPECT_EQ(rc, c.expectedRc) << c.name << "\nstderr: " << err.str();
+    const auto path = kGoldenDir / c.name;
+    if (regenerating()) {
+      std::ofstream f(path, std::ios::binary);
+      f << out.str();
+      continue;
+    }
+    ASSERT_TRUE(fs::exists(path))
+        << path << " missing — run with COLIBRI_GOLDEN_REGEN=1 and commit";
+    EXPECT_EQ(out.str(), readFile(path)) << c.name;
+  }
+  if (regenerating()) {
+    GTEST_SKIP() << "regenerated " << cases.size() << " golden files under "
+                 << kGoldenDir;
+  }
+}
+
+TEST(Golden, CorpusHasNoStaleFiles) {
+  if (regenerating()) {
+    GTEST_SKIP();
+  }
+  ASSERT_TRUE(fs::exists(kGoldenDir));
+  std::vector<std::string> expected;
+  for (const auto& c : goldenCases()) {
+    expected.push_back(c.name);
+  }
+  for (const auto& entry : fs::directory_iterator(kGoldenDir)) {
+    const auto name = entry.path().filename().string();
+    EXPECT_NE(std::find(expected.begin(), expected.end(), name),
+              expected.end())
+        << name << " is in tests/golden/ but no case generates it";
+  }
+}
+
+}  // namespace
+}  // namespace colibri

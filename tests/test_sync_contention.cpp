@@ -1,0 +1,185 @@
+// Contention-focused sync:: tests that the litmus suite relies on: the MCS
+// lock must hand over in FIFO arrival order (its whole point versus a TAS
+// lock), Backoff must be deterministic and keep its jitter inside the
+// documented [0.75, 1.25) band, and compareAndSwap must honor the abandon
+// flag on the single-reservation-slot adapter, where an unbounded retry
+// loop can otherwise livelock past a stop flag forever.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "arch/system.hpp"
+#include "test_util.hpp"
+#include "sync/atomic.hpp"
+#include "sync/backoff.hpp"
+#include "sync/mcs.hpp"
+
+namespace colibri::sync {
+namespace {
+
+using arch::AdapterKind;
+using arch::Core;
+using arch::System;
+using arch::SystemConfig;
+
+SystemConfig withAdapter(AdapterKind k) {
+  auto c = SystemConfig::smallTest();
+  c.adapter = k;
+  return c;
+}
+
+// --- MCS FIFO handoff ----------------------------------------------------
+
+sim::Task mcsHolder(System& sys, Core& core, McsLock& lock,
+                    std::vector<sim::CoreId>& order, sim::Cycle holdFor) {
+  auto rng = sim::Xoshiro256::forStream(sys.config().seed, core.id());
+  Backoff bo(BackoffPolicy::fixed(32), rng);
+  co_await lock.acquire(core, bo);
+  order.push_back(core.id());
+  co_await core.delay(holdFor);
+  co_await lock.release(core, bo);
+}
+
+sim::Task mcsArrival(System& sys, Core& core, McsLock& lock,
+                     std::vector<sim::CoreId>& order, sim::Cycle arriveAt) {
+  auto rng = sim::Xoshiro256::forStream(sys.config().seed, core.id());
+  Backoff bo(BackoffPolicy::fixed(32), rng);
+  co_await core.delay(arriveAt);
+  co_await lock.acquire(core, bo);
+  order.push_back(core.id());
+  co_await core.delay(10);
+  co_await lock.release(core, bo);
+}
+
+class McsFifo : public ::testing::TestWithParam<AdapterKind> {};
+
+TEST_P(McsFifo, HandoffFollowsArrivalOrder) {
+  System sys(withAdapter(GetParam()));
+  auto nodes = McsNodes::create(sys);
+  const auto tail = sys.allocator().allocGlobal(1);
+  const auto casFlavor = GetParam() == AdapterKind::kColibri
+                             ? RmwFlavor::kLrscWait
+                             : RmwFlavor::kLrsc;
+  const auto wait = GetParam() == AdapterKind::kColibri ? WaitKind::kMwait
+                                                        : WaitKind::kPoll;
+  McsLock lock(tail, nodes, casFlavor, wait);
+  std::vector<sim::CoreId> order;
+  // Core 0 grabs the lock immediately and holds it while cores 1..7 arrive
+  // 200 cycles apart — far wider than the tail-swap latency, so the queue
+  // order IS the arrival order. A FIFO lock must then hand over 1, 2, ... 7;
+  // a TAS lock would let any spinner barge in.
+  sys.spawn(0, mcsHolder(sys, sys.core(0), lock, order, 2000));
+  for (sim::CoreId c = 1; c < 8; ++c) {
+    sys.spawn(c, mcsArrival(sys, sys.core(c), lock, order, 100 + c * 200));
+  }
+  sys.run();
+  sys.rethrowFailures();
+  ASSERT_EQ(order.size(), 8u);
+  for (sim::CoreId c = 0; c < 8; ++c) {
+    EXPECT_EQ(order[c], c) << "handoff " << c << " went out of FIFO order";
+  }
+  EXPECT_EQ(sys.peek(tail), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Adapters, McsFifo,
+                         ::testing::Values(AdapterKind::kLrscTable,
+                                           AdapterKind::kColibri),
+                         [](const auto& info) {
+                           return test::paramName(arch::toString(info.param));
+                         });
+
+// --- Backoff determinism and jitter bounds -------------------------------
+
+TEST(BackoffDeterminism, SameSeedSameSequence) {
+  auto rngA = sim::Xoshiro256::forStream(42, 7);
+  auto rngB = sim::Xoshiro256::forStream(42, 7);
+  Backoff a(BackoffPolicy::exponential(16, 4096), rngA);
+  Backoff b(BackoffPolicy::exponential(16, 4096), rngB);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.next(), b.next()) << "diverged at step " << i;
+  }
+}
+
+TEST(BackoffDeterminism, DistinctStreamsDecorrelate) {
+  auto rngA = sim::Xoshiro256::forStream(42, 1);
+  auto rngB = sim::Xoshiro256::forStream(42, 2);
+  Backoff a(BackoffPolicy::fixed(1024), rngA);
+  Backoff b(BackoffPolicy::fixed(1024), rngB);
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    same += a.next() == b.next() ? 1 : 0;
+  }
+  // 50 draws from a 513-value window: a handful of collisions is plausible,
+  // identical sequences are not.
+  EXPECT_LT(same, 10);
+}
+
+TEST(BackoffJitter, ExponentialStaysInTheDocumentedBand) {
+  auto rng = sim::Xoshiro256::forStream(9, 0);
+  const std::uint32_t base = 16;
+  const std::uint32_t max = 4096;
+  Backoff b(BackoffPolicy::exponential(base, max), rng);
+  std::uint32_t around = base;  // shadow the internal doubling schedule
+  for (int i = 0; i < 20; ++i) {
+    const auto w = b.next();
+    const std::uint64_t lo = around - around / 4;
+    EXPECT_GE(w, lo) << "step " << i;
+    EXPECT_LE(w, lo + around / 2) << "step " << i;
+    around = around * 2 > max ? max : around * 2;
+  }
+  b.reset();
+  const auto w = b.next();
+  EXPECT_GE(w, base - base / 4);
+  EXPECT_LE(w, base - base / 4 + base / 2);
+}
+
+// --- compareAndSwap abandon flag -----------------------------------------
+
+sim::Task casUntilAbandoned(System& sys, Core& core, sim::Addr a,
+                            const bool* abandon, int* abandoned) {
+  auto rng = sim::Xoshiro256::forStream(sys.config().seed, core.id());
+  // The deliberately bad policy: a short fixed backoff on the single-slot
+  // adapter keeps every core displacing everyone else's reservation.
+  Backoff bo(BackoffPolicy::fixed(8), rng);
+  while (true) {
+    const auto r =
+        co_await compareAndSwap(core, RmwFlavor::kLrsc, a, 0, 0, bo, abandon);
+    if (!r.swapped) {
+      // The value never changes from 0, so swapped=false can only mean the
+      // library saw the abandon flag at a retry point and gave up.
+      ++*abandoned;
+      co_return;
+    }
+    if (*abandon) {
+      co_return;  // our last call happened to win before failing once
+    }
+    co_await core.delay(bo.next());
+  }
+}
+
+TEST(CasAbandon, StopsTheSingleSlotReservationStorm) {
+  System sys(withAdapter(AdapterKind::kLrscSingle));
+  const auto a = sys.allocator().allocGlobal(1);
+  sys.poke(a, 0);
+  bool abandon = false;
+  int abandoned = 0;
+  // CAS(0 -> 0) always has a matching expected value, so the only way out
+  // of the loop is the abandon flag. All 8 cores fight over one word on the
+  // one-reservation-slot adapter — the storm the flag exists for.
+  for (sim::CoreId c = 0; c < 8; ++c) {
+    sys.spawn(c, casUntilAbandoned(sys, sys.core(c), a, &abandon, &abandoned));
+  }
+  sys.at(5000, [&abandon] { abandon = true; });
+  sys.run();
+  sys.rethrowFailures();
+  EXPECT_TRUE(sys.allTasksDone());
+  // At least one in-flight call must have been cut short by the flag; the
+  // rest may have won their final CAS just before failing once.
+  EXPECT_GE(abandoned, 1);
+  // The loop must have drained promptly once the flag went up: one retry
+  // round plus the acknowledged-abandon path, not another storm.
+  EXPECT_LT(sys.now(), 5000u + 2000u);
+}
+
+}  // namespace
+}  // namespace colibri::sync
