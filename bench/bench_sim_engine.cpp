@@ -7,11 +7,13 @@
 #include <functional>
 
 #include "arch/system.hpp"
+#include "exp/run.hpp"
 #include "sim/engine.hpp"
 #include "sim/event.hpp"
 #include "sim/random.hpp"
 #include "sim/resource.hpp"
 #include "sync/atomic.hpp"
+#include "wgen/presets.hpp"
 
 namespace {
 
@@ -163,6 +165,49 @@ void BM_EndToEndAtomicOp(benchmark::State& state) {
                           kIters);
 }
 BENCHMARK(BM_EndToEndAtomicOp)->Unit(benchmark::kMillisecond);
+
+void BM_Parallel1kZipfHot(benchmark::State& state) {
+  // The acceptance-scale run: 1024 cores (16 topology groups) on the
+  // Zipf-hot wgen kernel, swept over --engine-threads. items/s counts
+  // completed window ops, which are bit-identical across thread counts —
+  // so the ratio between the engine_threads series IS the parallel-engine
+  // speedup on this host. Interpret it against context.num_cpus in the
+  // JSON: with a single hardware thread the parallel rows measure pure
+  // dispatcher overhead, not speedup.
+  const auto* preset = wgen::findPreset("zipf_hot");
+  if (preset == nullptr) {
+    state.SkipWithError("zipf_hot preset missing");
+    return;
+  }
+  exp::RunSpec spec;
+  spec.label = "zipf_hot_1k";
+  spec.config = arch::SystemConfig{};  // paper geometry, scaled up
+  spec.config.numCores = 1024;
+  spec.config.adapter = arch::AdapterKind::kColibri;
+  spec.config.engineThreads = static_cast<std::uint32_t>(state.range(0));
+  wgen::WgenParams params;
+  params.kernel = preset->spec;
+  spec.params = params;
+  spec.window = workloads::MeasureWindow{2000, 20000};
+  std::uint64_t ops = 0;
+  for (auto _ : state) {
+    const auto result = exp::runOne(spec);
+    ops = result.rate.opsInWindow;
+    benchmark::DoNotOptimize(ops);
+  }
+  if (ops == 0) {
+    state.SkipWithError("no ops completed in the window");
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ops));
+}
+BENCHMARK(BM_Parallel1kZipfHot)
+    ->ArgName("engine_threads")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -161,6 +161,40 @@ def self_test(threshold):
     if not hit:
         print("bench_compare: self-test FAILED (missing series not flagged)")
         return 1
+
+    # Engine-threads sweep labels: each engine_threads:N series is its own
+    # gated series, parsed out of a real google-benchmark document shape.
+    def gbench_doc(rates):
+        return {
+            "benchmarks": [
+                {
+                    "name": f"BM_Parallel1kZipfHot/engine_threads:{t}",
+                    "run_type": "iteration",
+                    "items_per_second": r,
+                }
+                for t, r in rates.items()
+            ]
+        }
+
+    sweep_base = gbench_series(gbench_doc({1: 1.0e6, 2: 1.8e6, 8: 5.2e6}), False)
+    if sorted(sweep_base) != [
+        "BM_Parallel1kZipfHot/engine_threads:1",
+        "BM_Parallel1kZipfHot/engine_threads:2",
+        "BM_Parallel1kZipfHot/engine_threads:8",
+    ]:
+        print("bench_compare: self-test FAILED (engine_threads labels lost)")
+        return 1
+    collapsed = gbench_series(gbench_doc({1: 1.0e6, 2: 1.8e6, 8: 1.0e6}), False)
+    hit, _ = compare(sweep_base, collapsed, threshold)
+    if not hit:
+        print("bench_compare: self-test FAILED (speedup collapse not flagged)")
+        return 1
+    dropped = gbench_series(gbench_doc({1: 1.0e6, 2: 1.8e6}), False)
+    hit, _ = compare(sweep_base, dropped, threshold)
+    if not hit:
+        print("bench_compare: self-test FAILED (dropped thread series not "
+              "flagged)")
+        return 1
     print("bench_compare: self-test passed")
     return 0
 

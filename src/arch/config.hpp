@@ -72,6 +72,14 @@ struct SystemConfig {
   /// ("addresses" in Table I).
   std::uint32_t colibriQueuesPerController = 4;
 
+  // --- Engine ---------------------------------------------------------------
+  /// Worker threads for the deterministic parallel engine. 1 (default)
+  /// runs the classic sequential engine; N > 1 partitions the topology
+  /// groups across min(N, numGroups) threads with conservative-lookahead
+  /// windows. Results are bit-identical for every value (see
+  /// docs/ARCHITECTURE.md), so this only trades wall-clock time.
+  std::uint32_t engineThreads = 1;
+
   // --- Misc ----------------------------------------------------------------
   std::uint64_t seed = 0xC011B21;
 
@@ -100,6 +108,7 @@ struct SystemConfig {
     COLIBRI_CHECK(tileIngressBandwidth >= 1);
     COLIBRI_CHECK(lrscWaitQueueCapacity >= 1);
     COLIBRI_CHECK(colibriQueuesPerController >= 1);
+    COLIBRI_CHECK(engineThreads >= 1);
   }
 
   /// A small 16-core configuration for fast unit tests (same structure:

@@ -3,6 +3,8 @@
 #include <type_traits>
 #include <utility>
 
+#include "sim/parallel.hpp"
+
 namespace colibri::arch {
 
 // The network only relays events built at the injection sites (core.cpp,
@@ -44,9 +46,14 @@ Cycle Network::baseLatency(Distance d) const {
   return cfg_.latRemoteGroup;
 }
 
+NetworkStats& Network::currentStats() {
+  const int shard = sim::ParallelDispatch::currentWindowShard();
+  return shard >= 0 ? shardStats_[static_cast<std::size_t>(shard)] : stats_;
+}
+
 Cycle Network::acquireRequestPath(GroupId srcGroup, GroupId dstGroup,
                                   TileId dstTile, Distance d, Cycle at,
-                                  std::uint32_t holdSlots) {
+                                  std::uint32_t holdSlots, NetworkStats& st) {
   // A message with holdSlots > 1 occupies each shared stage for several
   // consecutive slots: the backpressure proxy for requests heading into a
   // backlogged bank (their flits sit in switch buffers, blocking others).
@@ -58,7 +65,7 @@ Cycle Network::acquireRequestPath(GroupId srcGroup, GroupId dstGroup,
       // all of that tile's banks). Stages are FIFO, so ordering holds.
       const Cycle router = localRouters_[srcGroup].acquire(at, holdSlots);
       const Cycle granted = tileIngress_[dstTile].acquire(router, holdSlots);
-      stats_.totalQueueingDelay += granted - at;
+      st.totalQueueingDelay += granted - at;
       return granted;
     }
     case Distance::kRemoteGroup: {
@@ -69,57 +76,92 @@ Cycle Network::acquireRequestPath(GroupId srcGroup, GroupId dstGroup,
       const Cycle linkCleared = groupLinks_[link].acquire(router, holdSlots);
       const Cycle granted =
           tileIngress_[dstTile].acquire(linkCleared, holdSlots);
-      stats_.totalQueueingDelay += granted - at;
+      st.totalQueueingDelay += granted - at;
       return granted;
     }
   }
   return at;
 }
 
-void Network::deliver(Cycle& lastDelivery, Cycle at, sim::InlineEvent fn) {
-  // FIFO clamp: never deliver earlier than a previously sent message on the
-  // same (src, dst) pair.
-  if (at < lastDelivery) {
-    at = lastDelivery;
-  }
-  lastDelivery = at;
-  engine_.scheduleAt(at, std::move(fn));
-}
-
-void Network::coreToBank(CoreId c, BankId b, sim::InlineEvent onArrive,
-                         std::uint32_t holdSlots) {
+Cycle Network::routeRequest(CoreId c, BankId b, Cycle at,
+                            std::uint32_t holdSlots) {
   COLIBRI_CHECK_MSG(c < cfg_.numCores && b < cfg_.numBanks(),
-                    "coreToBank with out-of-range endpoint: core "
+                    "routeRequest with out-of-range endpoint: core "
                         << c << " bank " << b);
   const TileId srcTile = topo_.tileOfCore(c);
   const TileId dstTile = topo_.tileOfBank(b);
   const Distance d = topo_.distance(srcTile, dstTile);
-  stats_.messagesByDistance[static_cast<std::size_t>(d)]++;
-  stats_.totalMessages++;
+  NetworkStats& st = currentStats();
+  st.messagesByDistance[static_cast<std::size_t>(d)]++;
+  st.totalMessages++;
 
   const Cycle cleared = acquireRequestPath(
-      topo_.groupOfTile(srcTile), topo_.groupOfTile(dstTile), dstTile, d,
-      engine_.now(), holdSlots == 0 ? 1 : holdSlots);
-  deliver(lastCoreToBank_[static_cast<std::size_t>(c) * cfg_.numBanks() + b],
-          cleared + baseLatency(d), std::move(onArrive));
+      topo_.groupOfTile(srcTile), topo_.groupOfTile(dstTile), dstTile, d, at,
+      holdSlots == 0 ? 1 : holdSlots, st);
+  // FIFO clamp: never deliver earlier than a previously sent message on
+  // the same (src, dst) pair.
+  Cycle arrive = cleared + baseLatency(d);
+  Cycle& last =
+      lastCoreToBank_[static_cast<std::size_t>(c) * cfg_.numBanks() + b];
+  if (arrive < last) {
+    arrive = last;
+  }
+  last = arrive;
+  return arrive;
 }
 
-void Network::bankToCore(BankId b, CoreId c, sim::InlineEvent onArrive) {
+Cycle Network::routeResponse(BankId b, CoreId c, Cycle at) {
   COLIBRI_CHECK_MSG(c < cfg_.numCores && b < cfg_.numBanks(),
-                    "bankToCore with out-of-range endpoint: bank "
+                    "routeResponse with out-of-range endpoint: bank "
                         << b << " core " << c);
   const TileId srcTile = topo_.tileOfBank(b);
   const TileId dstTile = topo_.tileOfCore(c);
   const Distance d = topo_.distance(srcTile, dstTile);
-  stats_.messagesByDistance[static_cast<std::size_t>(d)]++;
-  stats_.totalMessages++;
+  NetworkStats& st = currentStats();
+  st.messagesByDistance[static_cast<std::size_t>(d)]++;
+  st.totalMessages++;
 
-  deliver(lastBankToCore_[static_cast<std::size_t>(b) * cfg_.numCores + c],
-          engine_.now() + baseLatency(d), std::move(onArrive));
+  Cycle arrive = at + baseLatency(d);
+  Cycle& last =
+      lastBankToCore_[static_cast<std::size_t>(b) * cfg_.numCores + c];
+  if (arrive < last) {
+    arrive = last;
+  }
+  last = arrive;
+  return arrive;
+}
+
+void Network::coreToBank(CoreId c, BankId b, sim::InlineEvent onArrive,
+                         std::uint32_t holdSlots) {
+  engine_.scheduleAt(routeRequest(c, b, engine_.now(), holdSlots),
+                     std::move(onArrive));
+}
+
+void Network::bankToCore(BankId b, CoreId c, sim::InlineEvent onArrive) {
+  engine_.scheduleAt(routeResponse(b, c, engine_.now()), std::move(onArrive));
+}
+
+NetworkStats Network::stats() const {
+  NetworkStats total = stats_;
+  for (const NetworkStats& s : shardStats_) {
+    for (std::size_t d = 0; d < total.messagesByDistance.size(); ++d) {
+      total.messagesByDistance[d] += s.messagesByDistance[d];
+    }
+    total.totalMessages += s.totalMessages;
+    total.totalQueueingDelay += s.totalQueueingDelay;
+  }
+  return total;
+}
+
+void Network::enableShardStats(std::uint32_t numShards) {
+  shardStats_.assign(numShards, NetworkStats{});
 }
 
 void Network::resetStats() {
   stats_.reset();
+  for (NetworkStats& s : shardStats_) {
+    s.reset();
+  }
   for (auto& r : localRouters_) {
     r.resetStats();
   }

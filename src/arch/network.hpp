@@ -54,23 +54,41 @@ class Network {
  public:
   Network(Engine& engine, const SystemConfig& cfg);
 
-  /// Deliver `onArrive` at the bank after the request-path latency from
-  /// core `c` to bank `b` (including link queueing). FIFO per (c,b).
+  /// Route a request departing core `c` at cycle `at` towards bank `b`:
+  /// acquires the shared stages (link queueing), applies the per-pair FIFO
+  /// clamp, and counts stats. Returns the delivery cycle — the caller
+  /// schedules the arrival event itself (the parallel engine may defer it
+  /// to another shard). Calls per (c,b) pair must be in send order.
   /// `holdSlots` >= 1 is the number of consecutive slots the message holds
   /// on each shared stage: >1 models backpressure from a backlogged
   /// destination (finite switch buffers, head-of-line blocking).
+  Cycle routeRequest(CoreId c, BankId b, Cycle at, std::uint32_t holdSlots = 1);
+
+  /// Route a response departing bank `b` at cycle `at` towards core `c`:
+  /// pure latency plus the per-pair FIFO clamp, no shared stages. Returns
+  /// the delivery cycle.
+  Cycle routeResponse(BankId b, CoreId c, Cycle at);
+
+  /// Convenience wrappers over route*: schedule `onArrive` on the engine
+  /// at the computed delivery cycle. (Unit tests drive the network this
+  /// way; System schedules through the parallel dispatcher instead.)
   void coreToBank(CoreId c, BankId b, sim::InlineEvent onArrive,
                   std::uint32_t holdSlots = 1);
-
-  /// Deliver `onArrive` at the core after the response-path latency from
-  /// bank `b` to core `c` (pure latency, FIFO per (b,c)).
   void bankToCore(BankId b, CoreId c, sim::InlineEvent onArrive);
 
   /// One-way latency (without queueing) for a distance class.
   [[nodiscard]] Cycle baseLatency(Distance d) const;
 
-  [[nodiscard]] const NetworkStats& stats() const { return stats_; }
+  /// Aggregated traffic counters. In parallel mode the counts land in
+  /// per-shard buckets (worker windows) plus a main bucket (serial phases
+  /// and merges); the sum is exactly the sequential engine's counters
+  /// because every message increments exactly one bucket.
+  [[nodiscard]] NetworkStats stats() const;
   void resetStats();
+
+  /// Allocate per-shard stats buckets (parallel mode). Worker-window
+  /// traffic then counts into the executing shard's bucket.
+  void enableShardStats(std::uint32_t numShards);
 
   [[nodiscard]] const Topology& topology() const { return topo_; }
 
@@ -80,12 +98,15 @@ class Network {
 
  private:
   /// Claim link resources for a request departing at `at`; returns the
-  /// cycle the message clears the contended stage.
+  /// cycle the message clears the contended stage. Queueing delay counts
+  /// into `st`.
   Cycle acquireRequestPath(GroupId srcGroup, GroupId dstGroup, TileId dstTile,
-                           Distance d, Cycle at, std::uint32_t holdSlots);
+                           Distance d, Cycle at, std::uint32_t holdSlots,
+                           NetworkStats& st);
 
-  /// Clamp `at` against the pair's last delivery time and schedule.
-  void deliver(Cycle& lastDelivery, Cycle at, sim::InlineEvent fn);
+  /// The stats bucket for the calling thread: the executing shard's bucket
+  /// inside a worker window, the main bucket otherwise.
+  [[nodiscard]] NetworkStats& currentStats();
 
   Engine& engine_;
   Topology topo_;
@@ -98,6 +119,7 @@ class Network {
   std::vector<Cycle> lastCoreToBank_;  // [c * numBanks + b]
   std::vector<Cycle> lastBankToCore_;  // [b * numCores + c]
   NetworkStats stats_;
+  std::vector<NetworkStats> shardStats_;  // parallel mode, one per shard
 };
 
 }  // namespace colibri::arch

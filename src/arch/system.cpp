@@ -1,9 +1,11 @@
 #include "arch/system.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "sim/check.hpp"
 #include "sim/event.hpp"
+#include "sim/resource.hpp"
 
 namespace colibri::arch {
 
@@ -21,9 +23,10 @@ System::System(const SystemConfig& cfg)
     qnodes_.emplace_back(c);
   }
 
+  coreHot_.resize(cfg_.numCores);
   cores_.reserve(cfg_.numCores);
   for (CoreId c = 0; c < cfg_.numCores; ++c) {
-    cores_.push_back(std::make_unique<Core>(*this, c));
+    cores_.push_back(std::make_unique<Core>(*this, c, &coreHot_[c]));
     if (cfg_.adapter == AdapterKind::kColibri) {
       cores_[c]->qnode_ = &qnodes_[c];
       qnodes_[c].setWakeUpSender(
@@ -38,6 +41,37 @@ System::System(const SystemConfig& cfg)
           });
     }
   }
+
+  if (cfg_.engineThreads > 1) {
+    enableParallelEngine();
+  }
+}
+
+void System::enableParallelEngine() {
+  // Shards are topology groups: every core, bank, qnode and adapter
+  // belongs to exactly one group, and only local-tile traffic (which is
+  // intra-group by construction) executes inline inside windows. The
+  // lookahead is the smallest latency of any deferred (non-local-tile)
+  // message class: nothing sent in a window can arrive inside it.
+  const std::uint32_t groups = cfg_.numGroups();
+  const sim::Cycle lookahead = std::min(cfg_.latSameGroup, cfg_.latRemoteGroup);
+  if (groups < 2 || lookahead < 1) {
+    return;  // nothing to parallelize; keep the sequential engine
+  }
+  const Topology& topo = net_.topology();
+  shardOfCore_.resize(cfg_.numCores);
+  for (CoreId c = 0; c < cfg_.numCores; ++c) {
+    shardOfCore_[c] = topo.groupOfTile(topo.tileOfCore(c));
+  }
+  shardOfBank_.resize(cfg_.numBanks());
+  portShadow_.resize(cfg_.numBanks());
+  for (BankId b = 0; b < cfg_.numBanks(); ++b) {
+    shardOfBank_[b] = topo.groupOfTile(topo.tileOfBank(b));
+    banks_[b]->setPortShadow(&portShadow_[b]);
+  }
+  net_.enableShardStats(groups);
+  dispatch_ = std::make_unique<sim::ParallelDispatch>(
+      engine_, *this, groups, std::min(cfg_.engineThreads, groups), lookahead);
 }
 
 System::~System() {
@@ -48,6 +82,13 @@ System::~System() {
 
 void System::spawn(CoreId c, sim::Task task) {
   COLIBRI_CHECK(c < cores_.size());
+  if (dispatch_ != nullptr) {
+    // Start-up runs the coroutine to its first suspension; events it
+    // schedules must land in the core's shard queue, in program order.
+    sim::ParallelDispatch::ShardScope scope(*dispatch_, shardOfCore_[c]);
+    cores_[c]->run(std::move(task));
+    return;
+  }
   cores_[c]->run(std::move(task));
 }
 
@@ -84,18 +125,55 @@ bool System::allTasksDone() const {
 
 void System::injectRequest(CoreId from, const MemRequest& req) {
   const BankId b = static_cast<BankId>(req.addr % cfg_.numBanks());
+  auto arrive = [this, b, req] { banks_[b]->receive(req); };
+  static_assert(sim::InlineEvent::fitsInline<decltype(arrive)>,
+                "request-injection closure must fit the inline event buffer");
+
+  if (dispatch_ != nullptr && sim::ParallelDispatch::inWindowContext() &&
+      topology().coreToBank(from, b) != Distance::kLocalTile) {
+    // Any send that touches shared network stages (group router, link,
+    // tile ingress) interleaves with other shards' traffic, so the backlog
+    // probe and stage acquisition happen at the barrier merge, at this
+    // send's exact sequential position (resolveRequest below). Local-tile
+    // traffic has a dedicated path and stays inline.
+    dispatch_->deferRequest(shardOfBank_[b], from, b, std::move(arrive));
+    return;
+  }
+
+  const sim::Cycle arriveAt = resolveRequest(from, b, engine_.now());
+  if (dispatch_ != nullptr) {
+    dispatch_->scheduleToShard(shardOfBank_[b], arriveAt, std::move(arrive));
+  } else {
+    engine_.scheduleAt(arriveAt, std::move(arrive));
+  }
+}
+
+sim::Cycle System::resolveRequest(CoreId from, BankId bank, sim::Cycle at) {
   // Backpressure proxy: a request towards a backlogged bank holds shared
   // network stages longer (finite switch buffers; see config.hpp).
   std::uint32_t hold = 1;
   if (cfg_.linkHoldMax > 0) {
-    const sim::Cycle backlog = banks_[b]->backlog();
+    const sim::Cycle backlog = banks_[bank]->backlogAt(at);
     hold += static_cast<std::uint32_t>(
         backlog > cfg_.linkHoldMax ? cfg_.linkHoldMax : backlog);
   }
-  auto arrive = [this, b, req] { banks_[b]->receive(req); };
-  static_assert(sim::InlineEvent::fitsInline<decltype(arrive)>,
-                "request-injection closure must fit the inline event buffer");
-  net_.coreToBank(from, b, std::move(arrive), hold);
+  return net_.routeRequest(from, bank, at, hold);
+}
+
+void System::commitPortAcquire(BankId bank, sim::Cycle at) {
+  sim::ParallelDispatch::PortShadow& sh = portShadow_[bank];
+  COLIBRI_CHECK_MSG(sh.pending > 0, "port-shadow commit with nothing pending");
+  --sh.pending;
+  sim::ThroughputResource::applyAcquire(sh.cursor, sh.used,
+                                        cfg_.bankPortsPerCycle, at);
+}
+
+void System::scheduleAtCore(CoreId c, sim::Cycle when, sim::InlineEvent ev) {
+  if (dispatch_ != nullptr) {
+    dispatch_->scheduleToShard(shardOfCore_[c], when, std::move(ev));
+    return;
+  }
+  engine_.scheduleAt(when, std::move(ev));
 }
 
 void System::resetStats() {

@@ -19,11 +19,12 @@
 #include "atomics/qnode.hpp"
 #include "core/core.hpp"
 #include "sim/engine.hpp"
+#include "sim/parallel.hpp"
 #include "sim/task.hpp"
 
 namespace colibri::arch {
 
-class System final : public CoreSink {
+class System final : public CoreSink, public sim::ParallelDispatch::Hooks {
  public:
   explicit System(const SystemConfig& cfg);
   ~System() override;
@@ -73,19 +74,39 @@ class System final : public CoreSink {
   /// the end of a warmup phase. Reservation/protocol state is preserved.
   void resetStats();
 
+  /// True iff the deterministic parallel engine is active for this system
+  /// (engineThreads > 1 and the topology has at least two groups).
+  [[nodiscard]] bool parallelEngine() const { return dispatch_ != nullptr; }
+
   // --- CoreSink ----------------------------------------------------------
   void deliverResponse(CoreId c, const MemResponse& r) override;
   void deliverSuccessorUpdate(CoreId c, CoreId successor, sim::Addr a,
                               bool successorIsMwait) override;
+  void scheduleAtCore(CoreId c, sim::Cycle when, sim::InlineEvent ev) override;
+
+  // --- ParallelDispatch::Hooks (barrier-merge callbacks) ------------------
+  sim::Cycle resolveRequest(CoreId from, BankId bank, sim::Cycle at) override;
+  void commitPortAcquire(BankId bank, sim::Cycle at) override;
 
  private:
+  void enableParallelEngine();
+
   SystemConfig cfg_;
   sim::Engine engine_;
   Network net_;
   Allocator alloc_;
   std::vector<std::unique_ptr<Bank>> banks_;
   std::vector<atomics::Qnode> qnodes_;
+  std::vector<CoreHot> coreHot_;  // dense hot state, one slot per core
   std::vector<std::unique_ptr<Core>> cores_;
+  // Parallel-engine state: shard (= topology group) of each endpoint, the
+  // per-bank port shadows replayed at barrier merges, and the dispatcher
+  // itself. Declared last: its destructor detaches from the engine and
+  // joins the workers while the rest of the system is still alive.
+  std::vector<std::uint32_t> shardOfCore_;
+  std::vector<std::uint32_t> shardOfBank_;
+  std::vector<sim::ParallelDispatch::PortShadow> portShadow_;
+  std::unique_ptr<sim::ParallelDispatch> dispatch_;
 };
 
 }  // namespace colibri::arch

@@ -450,12 +450,16 @@ std::optional<std::string> buildConfig(const Options& opts,
   base.banksPerTile = opts.banksPerTile;
   base.wordsPerBank = opts.wordsPerBank;
   base.colibriQueuesPerController = opts.colibriQueues;
+  base.engineThreads = opts.engineThreads;
   base.seed = opts.seed;
   cfg = exp::configFor(adapter, opts.waitCapacity, base);
 
   if (opts.cores == 0 || opts.coresPerTile == 0 || opts.tilesPerGroup == 0 ||
       opts.banksPerTile == 0 || opts.wordsPerBank == 0) {
     return "geometry values must be >= 1";
+  }
+  if (opts.engineThreads == 0) {
+    return "--engine-threads must be >= 1 (1 = sequential engine)";
   }
   if (opts.cores % opts.coresPerTile != 0) {
     return "--cores (" + std::to_string(opts.cores) +

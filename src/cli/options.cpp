@@ -139,6 +139,11 @@ const std::map<std::string, Flag>& flagTable() {
       {"--threads",
        numberFlag("sweep worker threads; 0 = all hardware threads",
                   &Options::threads)},
+      {"--engine-threads",
+       numberFlag("deterministic parallel-engine workers per simulated "
+                  "system; results are bit-identical for any value "
+                  "(default 1 = sequential)",
+                  &Options::engineThreads)},
       {"--csv", boolFlag("emit CSV instead of an aligned table",
                          &Options::csv)},
       {"--json", boolFlag("emit the full result (per-rep + aggregate) as "

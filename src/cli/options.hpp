@@ -79,6 +79,11 @@ struct Options {
   std::uint32_t reps = 1;
   /// exp::SweepRunner pool size; 0 = hardware_concurrency.
   std::uint32_t threads = 0;
+  /// Deterministic parallel-engine worker threads inside each simulated
+  /// system; 1 = the classic sequential engine. Any value produces
+  /// bit-identical results (scheduling is order-preserving), so this only
+  /// changes wall-clock time.
+  std::uint32_t engineThreads = 1;
 
   // --- Output / control ---------------------------------------------------
   bool csv = false;

@@ -9,8 +9,8 @@
 
 namespace colibri::arch {
 
-Core::Core(System& sys, CoreId id)
-    : sys_(sys), id_(id), tile_(sys.topology().tileOfCore(id)) {}
+Core::Core(System& sys, CoreId id, CoreHot* hot)
+    : sys_(sys), id_(id), tile_(sys.topology().tileOfCore(id)), hot_(hot) {}
 
 void Core::run(sim::Task task) {
   COLIBRI_CHECK_MSG(!task_.valid(), "core already has a task");
@@ -20,22 +20,22 @@ void Core::run(sim::Task task) {
 
 sim::Cycle Core::nextIssueCycle() const {
   const Cycle now = sys_.engine().now();
-  if (!hasIssued_) {
+  if (!hot_->hasIssued) {
     return now;
   }
-  const Cycle earliest = lastIssue_ + sys_.config().issueInterval;
+  const Cycle earliest = hot_->lastIssue + sys_.config().issueInterval;
   return earliest > now ? earliest : now;
 }
 
 void Core::issue(const MemRequest& req, std::coroutine_handle<> h,
                  MemResponse* out) {
-  COLIBRI_CHECK_MSG(pendingHandle_ == nullptr,
+  COLIBRI_CHECK_MSG(hot_->pendingHandle == nullptr,
                     "core " << id_ << " has an outstanding op (single-issue)");
   stats_.issuedByKind[static_cast<std::size_t>(req.kind)]++;
 
   const Cycle depart = nextIssueCycle();
-  hasIssued_ = true;
-  lastIssue_ = depart;
+  hot_->hasIssued = true;
+  hot_->lastIssue = depart;
 
   if (req.kind == OpKind::kStore) {
     // Posted store: the request travels on its own; the core continues
@@ -50,12 +50,12 @@ void Core::issue(const MemRequest& req, std::coroutine_handle<> h,
     return;
   }
 
-  pendingHandle_ = h;
-  pendingOut_ = out;
-  pendingKind_ = req.kind;
+  hot_->pendingHandle = h;
+  hot_->pendingOut = out;
+  hot_->pendingKind = req.kind;
 
   auto depart_ev = [this, req] {
-    pendingSince_ = sys_.engine().now();
+    hot_->pendingSince = sys_.engine().now();
     // The request passes the core's Qnode on its way out (Colibri only).
     // Wait registration happens before injection; the SCwait hook runs
     // *after* injection because it may dispatch a WakeUpRequest that must
@@ -75,18 +75,18 @@ void Core::issue(const MemRequest& req, std::coroutine_handle<> h,
 }
 
 void Core::complete(const MemResponse& r) {
-  COLIBRI_CHECK_MSG(pendingHandle_ != nullptr,
+  COLIBRI_CHECK_MSG(hot_->pendingHandle != nullptr,
                     "response delivered to core " << id_
                                                   << " with no pending op");
-  const Cycle waited = sys_.engine().now() - pendingSince_;
-  if (arch::isSleepingWait(pendingKind_)) {
+  const Cycle waited = sys_.engine().now() - hot_->pendingSince;
+  if (arch::isSleepingWait(hot_->pendingKind)) {
     stats_.sleepCycles += waited;
   } else {
     stats_.stallCycles += waited;
   }
 
   if (qnode_ != nullptr) {
-    switch (pendingKind_) {
+    switch (hot_->pendingKind) {
       case OpKind::kLrWait:
         qnode_->onLrWaitResponse(r.ok);
         break;
@@ -101,10 +101,10 @@ void Core::complete(const MemResponse& r) {
     }
   }
 
-  auto h = pendingHandle_;
-  *pendingOut_ = r;
-  pendingHandle_ = nullptr;
-  pendingOut_ = nullptr;
+  auto h = hot_->pendingHandle;
+  *hot_->pendingOut = r;
+  hot_->pendingHandle = nullptr;
+  hot_->pendingOut = nullptr;
   h.resume();
   task_.rethrowIfFailed();
 }
@@ -116,9 +116,9 @@ void Core::delayed(Cycle n, std::coroutine_handle<> h) {
   const Cycle done = sys_.engine().now() + n;
   const Cycle interval = sys_.config().issueInterval;
   const Cycle issueMark = done > interval ? done - interval : 0;
-  if (!hasIssued_ || lastIssue_ < issueMark) {
-    hasIssued_ = true;
-    lastIssue_ = issueMark;
+  if (!hot_->hasIssued || hot_->lastIssue < issueMark) {
+    hot_->hasIssued = true;
+    hot_->lastIssue = issueMark;
   }
   auto resume_ev = [this, h] {
     h.resume();

@@ -53,9 +53,23 @@ struct CoreStats {
   void reset() { *this = CoreStats{}; }
 };
 
+/// Hot per-core pipeline state, structure-of-arrays style: System owns one
+/// contiguous vector of these (one per core) so the dispatch loop touching
+/// many cores per cycle walks a dense array instead of chasing per-Core
+/// heap objects — the Core object itself keeps only cold identity, stats,
+/// and the task handle.
+struct CoreHot {
+  std::coroutine_handle<> pendingHandle{};
+  MemResponse* pendingOut = nullptr;
+  Cycle pendingSince = 0;
+  Cycle lastIssue = 0;
+  OpKind pendingKind = OpKind::kLoad;
+  bool hasIssued = false;
+};
+
 class Core {
  public:
-  Core(System& sys, CoreId id);
+  Core(System& sys, CoreId id, CoreHot* hot);
   Core(const Core&) = delete;
   Core& operator=(const Core&) = delete;
 
@@ -110,7 +124,9 @@ class Core {
   /// Propagate an exception that escaped the task, if any.
   void rethrowIfFailed() const { task_.rethrowIfFailed(); }
   [[nodiscard]] bool taskDone() const { return task_.done(); }
-  [[nodiscard]] bool hasOutstandingOp() const { return pendingHandle_ != nullptr; }
+  [[nodiscard]] bool hasOutstandingOp() const {
+    return hot_->pendingHandle != nullptr;
+  }
 
   [[nodiscard]] const CoreStats& stats() const { return stats_; }
   void resetStats() { stats_.reset(); }
@@ -128,15 +144,9 @@ class Core {
   CoreId id_;
   TileId tile_;
   atomics::Qnode* qnode_ = nullptr;  // set by System when Colibri is active
+  CoreHot* hot_;                     // slot in System's dense hot-state array
 
   sim::Task task_;
-  std::coroutine_handle<> pendingHandle_;
-  MemResponse* pendingOut_ = nullptr;
-  OpKind pendingKind_ = OpKind::kLoad;
-  Cycle pendingSince_ = 0;
-  bool hasIssued_ = false;
-  Cycle lastIssue_ = 0;
-
   CoreStats stats_;
 
   friend class System;

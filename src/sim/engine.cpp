@@ -1,22 +1,39 @@
 #include "sim/engine.hpp"
 
+#include "sim/parallel.hpp"
+
 namespace colibri::sim {
 
 bool Engine::dispatchOne(Cycle horizon) {
   // The event runs in place inside its (already unlinked) queue node, so
   // the callable may schedule new events — which mutates the queue — while
   // it executes, and dispatch pays no event move.
-  return queue_.runEarliestIfAtMost(horizon, [this](Cycle when, Event& ev) {
-    now_ = when;
-    ev();
-    ++executed_;
-  });
+  return queue_.runEarliestIfAtMost(
+      horizon, [this](Cycle when, std::uint64_t seq, Event& ev) {
+        now_ = when;
+        if (trace_ != nullptr) {
+          trace_->push_back({when, seq});
+        }
+        ev();
+        ++executed_;
+      });
 }
 
 std::size_t Engine::runUntil(Cycle horizon) {
+  if (parallel_ != nullptr) {
+    return parallel_->runUntil(horizon);
+  }
   std::size_t ran = 0;
-  while (dispatchOne(horizon)) {
-    ++ran;
+  auto dispatch = [this](Cycle when, std::uint64_t seq, Event& ev) {
+    now_ = when;
+    if (trace_ != nullptr) {
+      trace_->push_back({when, seq});
+    }
+    ev();
+    ++executed_;
+  };
+  while (const std::size_t n = queue_.runBatchIfAtMost(horizon, dispatch)) {
+    ran += n;
   }
   if (horizon != kCycleNever && now_ < horizon) {
     now_ = horizon;
@@ -25,6 +42,8 @@ std::size_t Engine::runUntil(Cycle horizon) {
 }
 
 std::size_t Engine::step(std::size_t n) {
+  COLIBRI_CHECK_MSG(parallel_ == nullptr,
+                    "step() requires the sequential engine");
   std::size_t ran = 0;
   while (ran < n && dispatchOne(kCycleNever)) {
     ++ran;
@@ -32,11 +51,43 @@ std::size_t Engine::step(std::size_t n) {
   return ran;
 }
 
+void Engine::clear() {
+  if (parallel_ != nullptr) {
+    parallel_->clearAll();
+    return;
+  }
+  queue_.clear();
+}
+
+std::size_t Engine::pendingEvents() const {
+  return parallel_ != nullptr ? parallel_->pendingEvents() : queue_.size();
+}
+
+std::uint64_t Engine::executedEvents() const {
+  return parallel_ != nullptr ? parallel_->executedEvents() : executed_;
+}
+
 void Engine::advanceTo(Cycle when) {
+  COLIBRI_CHECK_MSG(parallel_ == nullptr,
+                    "advanceTo() requires the sequential engine");
   COLIBRI_CHECK(when >= now_);
   COLIBRI_CHECK_MSG(queue_.minWhen() >= when,
                     "advanceTo would skip a pending event");
   now_ = when;
+}
+
+void Engine::setTrace(std::vector<DispatchRecord>* trace) {
+  trace_ = trace;
+  if (parallel_ != nullptr) {
+    parallel_->setTrace(trace);
+  }
+}
+
+void Engine::setParallel(ParallelDispatch* p) {
+  parallel_ = p;
+  if (p != nullptr && trace_ != nullptr) {
+    p->setTrace(trace_);
+  }
 }
 
 }  // namespace colibri::sim

@@ -10,14 +10,20 @@
 // inline capture buffer, event.hpp) and the pending set is a two-level
 // calendar queue (per-cycle FIFO buckets over pooled nodes with an
 // overflow heap, eventqueue.hpp), so the steady-state schedule/dispatch
-// cycle costs no heap traffic and no O(log n) sift.
+// cycle costs no heap traffic and no O(log n) sift. Dispatch drains whole
+// cycles at a time (EventQueue::runBatchIfAtMost), touching the queue's
+// minimum probe once per cycle instead of once per event.
 //
-// The engine is single-threaded and fully deterministic. Benchmarks that
-// sweep configurations parallelize across *engines*, never within one.
+// By default the engine is single-threaded and fully deterministic. A
+// ParallelDispatch backend (parallel.hpp) can be attached to execute the
+// schedule across worker threads; its conservative-lookahead windows and
+// barrier merge keep the dispatch order bit-identical to this sequential
+// engine, so attaching it changes wall-clock time and nothing else.
 #pragma once
 
 #include <cstddef>
 #include <utility>
+#include <vector>
 
 #include "sim/check.hpp"
 #include "sim/event.hpp"
@@ -29,20 +35,40 @@ namespace colibri::sim {
 /// Callable executed at a simulated point in time.
 using Event = InlineEvent;
 
+/// One dispatched event's identity: cycle and global sequence number.
+/// Captured via Engine::setTrace; the parallel-engine tests compare these
+/// streams to prove order equivalence with the sequential engine.
+struct DispatchRecord {
+  Cycle when;
+  std::uint64_t seq;
+  friend bool operator==(const DispatchRecord&,
+                         const DispatchRecord&) = default;
+};
+
+class ParallelDispatch;
+
 class Engine {
  public:
   Engine() = default;
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
-  /// Current simulated time. Advances only inside run()/runUntil().
-  [[nodiscard]] Cycle now() const { return now_; }
+  /// Current simulated time. Advances only inside run()/runUntil(). In
+  /// parallel mode this is the calling thread's view (its shard's clock
+  /// inside shard execution, the main clock otherwise).
+  [[nodiscard]] Cycle now() const {
+    return parallel_ != nullptr ? parallelNow() : now_;
+  }
 
   /// Schedule `f` to run at absolute cycle `when` (must be >= now()).
   /// Accepts any void() callable (or a prebuilt InlineEvent); the closure
   /// is constructed directly inside a pooled queue node.
   template <typename F>
   void scheduleAt(Cycle when, F&& f) {
+    if (parallel_ != nullptr) {
+      parallelSchedule(when, Event(std::forward<F>(f)));
+      return;
+    }
     COLIBRI_CHECK_MSG(when >= now_, "scheduleAt into the past: when="
                                         << when << " now=" << now_);
     queue_.schedule(when, std::forward<F>(f));
@@ -51,7 +77,7 @@ class Engine {
   /// Schedule `f` to run `delay` cycles from now.
   template <typename F>
   void scheduleAfter(Cycle delay, F&& f) {
-    scheduleAt(now_ + delay, std::forward<F>(f));
+    scheduleAt(now() + delay, std::forward<F>(f));
   }
 
   /// Run until the event queue is empty. Returns the number of events run.
@@ -63,31 +89,49 @@ class Engine {
   std::size_t runUntil(Cycle horizon);
 
   /// Execute at most `n` further events (for incremental co-simulation and
-  /// tests). Returns how many actually ran.
+  /// tests). Returns how many actually ran. Sequential mode only.
   std::size_t step(std::size_t n = 1);
 
   /// Drop all pending events without running them. Used at teardown so that
   /// no queued callback can touch objects that are about to be destroyed.
   /// Splices the queue's node lists back onto its free-list — no per-item
   /// heap frees or heap rebalancing.
-  void clear() { queue_.clear(); }
+  void clear();
 
-  [[nodiscard]] bool empty() const { return queue_.empty(); }
-  [[nodiscard]] std::size_t pendingEvents() const { return queue_.size(); }
-  [[nodiscard]] std::uint64_t executedEvents() const { return executed_; }
+  [[nodiscard]] bool empty() const { return pendingEvents() == 0; }
+  [[nodiscard]] std::size_t pendingEvents() const;
+  [[nodiscard]] std::uint64_t executedEvents() const;
 
   /// Advance now() to `when` without running anything (only legal when no
   /// earlier event is pending). Lets drivers account for idle gaps.
+  /// Sequential mode only.
   void advanceTo(Cycle when);
+
+  /// Record every dispatched event's (when, seq) into `trace` (nullptr to
+  /// stop). Test hook for order-equivalence checks; adds one predictable
+  /// branch to dispatch when unset.
+  void setTrace(std::vector<DispatchRecord>* trace);
+
+  /// Attach (or detach, with nullptr) a parallel dispatch backend. Every
+  /// run/schedule/query entry point delegates to it while attached.
+  /// Managed by ParallelDispatch's constructor/destructor.
+  void setParallel(ParallelDispatch* p);
+  [[nodiscard]] ParallelDispatch* parallel() const { return parallel_; }
 
  private:
   /// Pop and run the earliest event if its cycle is <= horizon. Returns
-  /// whether an event ran. The single dispatch body behind runUntil/step.
+  /// whether an event ran. The dispatch body behind step().
   bool dispatchOne(Cycle horizon);
+
+  // Defined in parallel.cpp (they need the backend's thread-local state).
+  [[nodiscard]] Cycle parallelNow() const;
+  void parallelSchedule(Cycle when, Event&& ev);
 
   EventQueue queue_;
   Cycle now_ = 0;
   std::uint64_t executed_ = 0;
+  std::vector<DispatchRecord>* trace_ = nullptr;
+  ParallelDispatch* parallel_ = nullptr;
 };
 
 }  // namespace colibri::sim

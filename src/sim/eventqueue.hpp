@@ -43,24 +43,68 @@ class EventQueue {
   EventQueue& operator=(const EventQueue&) = delete;
   ~EventQueue() { clear(); }
 
+  /// Stable handle to a scheduled (still pending) event. The generation
+  /// detects node reuse after dispatch, so a stale handle is recognized
+  /// instead of touching an unrelated event. Used by the parallel engine
+  /// to re-key provisionally sequenced events at window barriers.
+  struct NodeRef {
+    void* node = nullptr;
+    std::uint32_t gen = 0;
+  };
+
   /// Append an event; FIFO among events with equal `when`. `when` must be
   /// >= the cycle of the most recently popped event. The callable is
   /// constructed directly inside a pooled node — no intermediate moves.
   template <typename F>
   void schedule(Cycle when, F&& f);
 
+  /// Like schedule(), but with a caller-supplied sequence number instead
+  /// of the internal counter. `seq` must be >= every seq already stored
+  /// for this `when` (the caller owns the total order). Returns a handle
+  /// for later re-keying. Parallel-engine shards schedule through this.
+  template <typename F>
+  NodeRef scheduleWithSeq(Cycle when, std::uint64_t seq, F&& f);
+
+  /// Insert an event with an arbitrary (when, seq) key, placing it in seq
+  /// order among already-pending events of the same cycle (walks the
+  /// cycle's FIFO chain). Used by the barrier merge to commit cross-shard
+  /// arrivals whose sequence numbers interleave with pending local events.
+  void insertSorted(Cycle when, std::uint64_t seq, InlineEvent ev);
+
+  /// Rewrite the seq of a still-pending event; returns false (and does
+  /// nothing) if the handle is stale. The new seq must preserve the
+  /// event's relative order among its cycle's pending events.
+  bool rekey(NodeRef ref, std::uint64_t seq) noexcept;
+
   /// Remove the earliest event (by (when, seq)) if its cycle is <= horizon;
   /// fills `when`/`ev` and returns true, else returns false.
   bool popIfAtMost(Cycle horizon, Cycle& when, InlineEvent& ev);
 
   /// Like popIfAtMost, but runs the event in place inside its (already
-  /// unlinked) node via `fn(when, ev)` — the dispatch path pays no event
-  /// move. The node returns to the free-list even if the callable throws.
+  /// unlinked) node via `fn(when, seq, ev)` — the dispatch path pays no
+  /// event move. The node returns to the free-list even if the callable
+  /// throws.
   template <typename F>
   bool runEarliestIfAtMost(Cycle horizon, F&& fn);
 
+  /// Batched dispatch: run every event of the earliest pending cycle (if
+  /// <= horizon) via `fn(when, seq, ev)`, touching the occupancy bitmap
+  /// and the bucket-minimum probe once per cycle instead of once per
+  /// event. Events the callables schedule for the same cycle join the
+  /// drain (FIFO). Returns how many events ran (0 if none were due).
+  /// Execution order is exactly the (when, seq) order of the one-event
+  /// path — when the cycle ties with an overflow entry, the batch falls
+  /// back to one-event dispatch to keep the seq interleave.
+  template <typename F>
+  std::size_t runBatchIfAtMost(Cycle horizon, F&& fn);
+
   /// Cycle of the earliest pending event; kCycleNever when empty.
   [[nodiscard]] Cycle minWhen() const;
+
+  /// Key of the earliest pending event without removing it. Returns false
+  /// when empty. The parallel engine's serial phase uses this to pick the
+  /// lowest-seq head among several queues.
+  bool peekEarliest(Cycle& when, std::uint64_t& seq) const;
 
   /// Drop every pending event without running it: destroys the callables
   /// and splices the nodes back onto the free-list — no heap traffic, no
@@ -86,6 +130,7 @@ class EventQueue {
     Cycle when = 0;
     std::uint64_t seq = 0;
     Node* next = nullptr;
+    std::uint32_t gen = 0;  ///< bumped on free; validates NodeRef handles
     InlineEvent ev;
   };
   struct Bucket {
@@ -110,10 +155,14 @@ class EventQueue {
     return n;
   }
   void freeNode(Node* n) noexcept {
+    ++n->gen;  // invalidate outstanding NodeRef handles
     n->next = freeList_;
     freeList_ = n;
   }
   void refillPool();
+
+  /// Link an already-filled node into the bucket window or overflow heap.
+  void linkNode(Node* n);
 
   /// Earliest non-empty bucket cycle; requires bucketCount_ > 0.
   [[nodiscard]] Cycle bucketMinWhen() const;
@@ -141,19 +190,8 @@ class EventQueue {
 // --- Hot-path definitions (kept in the header so the per-event schedule
 // and dispatch cost is a handful of inlined loads/stores) -----------------
 
-template <typename F>
-inline void EventQueue::schedule(Cycle when, F&& f) {
-  COLIBRI_CHECK_MSG(when >= cursor_, "schedule before the dispatch cursor: when="
-                                         << when << " cursor=" << cursor_);
-  Node* n = allocNode();
-  n->when = when;
-  n->seq = nextSeq_++;
-  n->next = nullptr;
-  if constexpr (std::is_same_v<std::remove_cvref_t<F>, InlineEvent>) {
-    n->ev = std::forward<F>(f);
-  } else {
-    n->ev.emplace(std::forward<F>(f));
-  }
+inline void EventQueue::linkNode(Node* n) {
+  const Cycle when = n->when;
   if (when - cursor_ < kBucketCount) {
     const std::size_t idx = when & (kBucketCount - 1);
     Bucket& b = buckets_[idx];
@@ -180,6 +218,50 @@ inline void EventQueue::schedule(Cycle when, F&& f) {
     std::push_heap(overflow_.begin(), overflow_.end(), &later);
   }
   ++size_;
+}
+
+template <typename F>
+inline void EventQueue::schedule(Cycle when, F&& f) {
+  COLIBRI_CHECK_MSG(when >= cursor_, "schedule before the dispatch cursor: when="
+                                         << when << " cursor=" << cursor_);
+  Node* n = allocNode();
+  n->when = when;
+  n->seq = nextSeq_++;
+  n->next = nullptr;
+  if constexpr (std::is_same_v<std::remove_cvref_t<F>, InlineEvent>) {
+    n->ev = std::forward<F>(f);
+  } else {
+    n->ev.emplace(std::forward<F>(f));
+  }
+  linkNode(n);
+}
+
+template <typename F>
+inline EventQueue::NodeRef EventQueue::scheduleWithSeq(Cycle when,
+                                                       std::uint64_t seq,
+                                                       F&& f) {
+  COLIBRI_CHECK_MSG(when >= cursor_, "schedule before the dispatch cursor: when="
+                                         << when << " cursor=" << cursor_);
+  Node* n = allocNode();
+  n->when = when;
+  n->seq = seq;
+  n->next = nullptr;
+  if constexpr (std::is_same_v<std::remove_cvref_t<F>, InlineEvent>) {
+    n->ev = std::forward<F>(f);
+  } else {
+    n->ev.emplace(std::forward<F>(f));
+  }
+  linkNode(n);
+  return NodeRef{n, n->gen};
+}
+
+inline bool EventQueue::rekey(NodeRef ref, std::uint64_t seq) noexcept {
+  auto* n = static_cast<Node*>(ref.node);
+  if (n == nullptr || n->gen != ref.gen) {
+    return false;  // already dispatched (node freed or reused)
+  }
+  n->seq = seq;
+  return true;
 }
 
 inline Cycle EventQueue::bucketMinWhen() const {
@@ -297,8 +379,57 @@ inline bool EventQueue::runEarliestIfAtMost(Cycle horizon, F&& fn) {
       q->freeNode(n);
     }
   } guard{this, n};
-  fn(n->when, n->ev);
+  fn(n->when, n->seq, n->ev);
   return true;
+}
+
+template <typename F>
+inline std::size_t EventQueue::runBatchIfAtMost(Cycle horizon, F&& fn) {
+  if (size_ == 0) {
+    return 0;
+  }
+  const Cycle bucketWhen = bucketCount_ > 0 ? bucketMinWhen() : kCycleNever;
+  const Node* top = overflow_.empty() ? nullptr : overflow_.front();
+  const Cycle overflowWhen = top != nullptr ? top->when : kCycleNever;
+  const Cycle t = overflowWhen < bucketWhen ? overflowWhen : bucketWhen;
+  if (t > horizon) {
+    return 0;
+  }
+  if (overflowWhen <= bucketWhen) {
+    // The cycle starts in (or ties with) the overflow heap: dispatch one
+    // event through the exact-interleave path. Rare — only when the
+    // window has just reached a far-future entry's cycle.
+    return runEarliestIfAtMost(t, std::forward<F>(fn)) ? 1 : 0;
+  }
+  // Whole-bucket drain. Events scheduled for cycle `t` during the drain
+  // append to this bucket's tail and join the loop (FIFO); overflow
+  // entries pushed during the drain lie >= t + kBucketCount, so no
+  // interleave check is needed per event.
+  const std::size_t idx = t & (kBucketCount - 1);
+  Bucket& b = buckets_[idx];
+  std::size_t ran = 0;
+  cursor_ = t;
+  while (Node* n = b.head) {
+    b.head = n->next;
+    if (b.head == nullptr) {
+      b.tail = nullptr;
+    }
+    --bucketCount_;
+    --size_;
+    struct Guard {
+      EventQueue* q;
+      Node* n;
+      ~Guard() {
+        n->ev.reset();
+        q->freeNode(n);
+      }
+    } guard{this, n};
+    fn(n->when, n->seq, n->ev);
+    ++ran;
+  }
+  occupied_[idx / 64] &= ~(std::uint64_t{1} << (idx % 64));
+  bucketMinValid_ = false;  // this cycle's bucket just drained
+  return ran;
 }
 
 }  // namespace colibri::sim

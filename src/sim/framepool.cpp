@@ -1,0 +1,185 @@
+#include "sim/framepool.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <new>
+#include <vector>
+
+#include "sim/check.hpp"
+
+namespace colibri::sim::framepool {
+
+namespace {
+
+// Size classes cover the frames the simulator actually creates: Co<T>
+// frames are small (~100-300 B), workload Task frames run larger (locals
+// plus captured parameters). Anything beyond the largest class is rare
+// enough to take the system heap.
+constexpr std::size_t kClassSizes[] = {64,  128,  192,  256,
+                                       512, 1024, 2048, 4096};
+constexpr std::size_t kNumClasses = sizeof(kClassSizes) / sizeof(std::size_t);
+constexpr std::size_t kHeaderSize = 16;
+constexpr std::size_t kChunkBlocks = 64;  // blocks added per refill
+
+// The 16-byte block header: (cls, magic) in the first 8 bytes, the
+// free-list link in the second 8 — so the magic survives a block's trip
+// through the free list and release() can tell a double free
+// (magic == kFreedMagic) from a foreign pointer (anything else).
+struct Header {
+  std::uint32_t cls;    // size class index, or kHeapClass
+  std::uint32_t magic;  // kMagic while live, kFreedMagic while pooled
+  Header* next;         // free-list link (meaningful only while pooled)
+};
+static_assert(sizeof(Header) == 16);
+constexpr std::uint32_t kHeapClass = 0xFFFFFFFFu;
+constexpr std::uint32_t kMagic = 0xF4A3E001u;
+constexpr std::uint32_t kFreedMagic = 0xF4A3DEADu;
+
+std::uint32_t classFor(std::size_t size) {
+  for (std::uint32_t i = 0; i < kNumClasses; ++i) {
+    if (size <= kClassSizes[i]) {
+      return i;
+    }
+  }
+  return kHeapClass;
+}
+
+std::atomic<std::uint64_t> pooledCount{0};
+std::atomic<std::uint64_t> heapCount{0};
+std::atomic<std::uint64_t> arenaTotal{0};
+
+/// One thread's segregated free lists. Subpools are registered with the
+/// arena on first use and parked (not destroyed) at thread exit, so a
+/// later worker thread can adopt the lists — chunk memory is recycled for
+/// the life of the process and blocks may be freed by a different thread
+/// than the one that allocated them.
+struct SubPool {
+  Header* freeLists[kNumClasses] = {};
+  std::vector<std::unique_ptr<std::byte[]>> chunks;
+  bool inUse = false;
+
+  void refill(std::uint32_t cls) {
+    const std::size_t block = kHeaderSize + kClassSizes[cls];
+    const std::size_t bytes = block * kChunkBlocks;
+    auto chunk = std::make_unique<std::byte[]>(bytes);
+    std::byte* base = chunk.get();
+    for (std::size_t i = 0; i < kChunkBlocks; ++i) {
+      auto* h = reinterpret_cast<Header*>(base + i * block);
+      h->cls = cls;
+      h->magic = kFreedMagic;
+      h->next = freeLists[cls];
+      freeLists[cls] = h;
+    }
+    chunks.push_back(std::move(chunk));
+    arenaTotal.fetch_add(bytes, std::memory_order_relaxed);
+  }
+};
+
+struct Arena {
+  std::mutex mu;
+  std::vector<std::unique_ptr<SubPool>> pools;
+
+  SubPool* acquire() {
+    std::lock_guard<std::mutex> lock(mu);
+    for (auto& p : pools) {
+      if (!p->inUse) {
+        p->inUse = true;
+        return p.get();
+      }
+    }
+    pools.push_back(std::make_unique<SubPool>());
+    pools.back()->inUse = true;
+    return pools.back().get();
+  }
+
+  void park(SubPool* p) {
+    std::lock_guard<std::mutex> lock(mu);
+    p->inUse = false;
+  }
+};
+
+Arena& arena() {
+  // Leaked deliberately: frames can outlive any scope shorter than the
+  // process (static System instances, thread teardown order), so the
+  // arena must never be destroyed.
+  static Arena* a = new Arena();
+  return *a;
+}
+
+/// RAII thread registration: binds a subpool to the current thread on
+/// first frame allocation and parks it (lists intact) at thread exit.
+struct ThreadPool {
+  SubPool* pool = nullptr;
+  ThreadPool() : pool(arena().acquire()) {}
+  ~ThreadPool() { arena().park(pool); }
+};
+
+SubPool& threadPool() {
+  thread_local ThreadPool tp;
+  return *tp.pool;
+}
+
+}  // namespace
+
+void* allocate(std::size_t size) {
+  const std::uint32_t cls = classFor(size);
+  if (cls == kHeapClass) {
+    auto* raw = static_cast<std::byte*>(::operator new(kHeaderSize + size));
+    auto* h = reinterpret_cast<Header*>(raw);
+    h->cls = kHeapClass;
+    h->magic = kMagic;
+    heapCount.fetch_add(1, std::memory_order_relaxed);
+    return raw + kHeaderSize;
+  }
+  SubPool& sp = threadPool();
+  if (sp.freeLists[cls] == nullptr) {
+    sp.refill(cls);
+  }
+  Header* h = sp.freeLists[cls];
+  sp.freeLists[cls] = h->next;
+  h->cls = cls;
+  h->magic = kMagic;
+  pooledCount.fetch_add(1, std::memory_order_relaxed);
+  return reinterpret_cast<std::byte*>(h) + kHeaderSize;
+}
+
+void release(void* p) noexcept {
+  if (p == nullptr) {
+    return;
+  }
+  auto* raw = static_cast<std::byte*>(p) - kHeaderSize;
+  auto* h = reinterpret_cast<Header*>(raw);
+  COLIBRI_CHECK_MSG(h->magic == kMagic,
+                    "framepool::release of "
+                        << (h->magic == kFreedMagic ? "an already-freed block"
+                                                    : "a foreign pointer")
+                        << " (p=" << p << ")");
+  if (h->cls == kHeapClass) {
+    ::operator delete(raw);
+    return;
+  }
+  // Freed blocks go to the *freeing* thread's list: chunk memory belongs
+  // to the process-wide arena, so adoption across threads is safe, and
+  // the common case (frame created and destroyed on one worker) stays
+  // contention-free.
+  SubPool& sp = threadPool();
+  h->magic = kFreedMagic;
+  h->next = sp.freeLists[h->cls];
+  sp.freeLists[h->cls] = h;
+}
+
+std::uint64_t pooledFrameCount() noexcept {
+  return pooledCount.load(std::memory_order_relaxed);
+}
+
+std::uint64_t heapFrameCount() noexcept {
+  return heapCount.load(std::memory_order_relaxed);
+}
+
+std::uint64_t arenaBytes() noexcept {
+  return arenaTotal.load(std::memory_order_relaxed);
+}
+
+}  // namespace colibri::sim::framepool

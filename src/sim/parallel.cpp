@@ -1,0 +1,558 @@
+// ParallelDispatch implementation: window execution, the barrier merge
+// that reconstructs sequential order, and the worker pool.
+#include "sim/parallel.hpp"
+
+#include <algorithm>
+
+namespace colibri::sim {
+
+namespace {
+
+// Thread-local execution context. `shard` is set both inside worker
+// windows (inWindow = true) and for live main-thread execution on behalf
+// of a shard (spawn / serial cycles, inWindow = false); the distinction
+// decides whether a schedule call becomes a provisional child or takes a
+// real counter seq immediately. Stored as void* because Shard is private
+// to ParallelDispatch — only its member functions cast it back.
+struct TlsCtx {
+  void* shard = nullptr;
+  std::vector<ParallelDispatch::PortAcquire>* portLog = nullptr;
+  int shardIndex = -1;
+  bool inWindow = false;
+};
+thread_local TlsCtx g_tls;
+
+}  // namespace
+
+// A deferred cross-boundary message, recorded during a window and resolved
+// at the barrier merge in exact sequential position.
+struct ParallelDispatch::ShardSend {
+  enum Kind : std::uint8_t {
+    kDirect,   ///< arrival precomputed at send time (no shared resources)
+    kRequest,  ///< backlog probe + shared-stage acquisition at the merge
+  };
+  Kind kind;
+  std::uint32_t dstShard;
+  Cycle when;    ///< send time (kRequest: the hook's probe point)
+  Cycle arrive;  ///< kDirect: precomputed delivery cycle
+  CoreId from;   ///< kRequest
+  BankId bank;   ///< kRequest
+  InlineEvent ev;
+};
+
+// One schedule call made while its parent event executed inside a window,
+// in shard-local call order. The index into the shard's `children` vector
+// is the provisional key; the merge assigns the real seq at parent commit.
+struct ParallelDispatch::Child {
+  enum Kind : std::uint8_t { kLocal, kSend };
+  Kind kind;
+  std::uint32_t sendIdx = 0;       ///< kSend: index into `sends`
+  EventQueue::NodeRef ref;         ///< kLocal: pending-event handle
+  std::uint64_t resolvedSeq = 0;   ///< kLocal: set at parent commit
+};
+
+// One event executed inside a window: its (when, key) identity plus the
+// half-open ranges of children it scheduled and port slots it acquired.
+struct ParallelDispatch::ExecRecord {
+  Cycle when;
+  std::uint64_t key;  ///< real seq, or kProvisional | childIdx
+  std::uint32_t childBegin, childEnd;
+  std::uint32_t portBegin, portEnd;
+};
+
+struct alignas(64) ParallelDispatch::Shard {
+  EventQueue queue;
+  Cycle now = 0;
+  std::uint64_t executed = 0;
+  std::vector<ExecRecord> execLog;
+  std::vector<Child> children;
+  std::vector<ShardSend> sends;
+  std::vector<PortAcquire> portLog;
+  std::exception_ptr error;
+  std::uint32_t mergePos = 0;
+  std::uint32_t index = 0;
+};
+
+ParallelDispatch::ParallelDispatch(Engine& engine, Hooks& hooks,
+                                   std::uint32_t numShards,
+                                   std::uint32_t numWorkers, Cycle lookahead)
+    : engine_(engine),
+      hooks_(hooks),
+      lookahead_(lookahead),
+      workerCount_(std::min(numWorkers, numShards)) {
+  COLIBRI_CHECK(numShards >= 2);
+  COLIBRI_CHECK(lookahead >= 1);
+  COLIBRI_CHECK(workerCount_ >= 1);
+  COLIBRI_CHECK_MSG(engine.pendingEvents() == 0 && engine.now() == 0,
+                    "parallel mode must be enabled on a fresh engine");
+  shards_.reserve(numShards);
+  for (std::uint32_t i = 0; i < numShards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+    shards_.back()->index = i;
+  }
+  engine_.setParallel(this);
+}
+
+ParallelDispatch::~ParallelDispatch() {
+  if (workersStarted_) {
+    stop_.store(true, std::memory_order_release);
+    epoch_.fetch_add(1, std::memory_order_release);
+    for (auto& t : threads_) {
+      t.join();
+    }
+  }
+  engine_.setParallel(nullptr);
+}
+
+// --- Thread-local context --------------------------------------------------
+
+int ParallelDispatch::currentWindowShard() noexcept {
+  return g_tls.inWindow ? g_tls.shardIndex : -1;
+}
+
+std::vector<ParallelDispatch::PortAcquire>*
+ParallelDispatch::currentPortLog() noexcept {
+  return g_tls.inWindow ? g_tls.portLog : nullptr;
+}
+
+bool ParallelDispatch::inWindowContext() noexcept { return g_tls.inWindow; }
+
+Cycle ParallelDispatch::nowOnThisThread() const noexcept {
+  const auto* s = static_cast<const Shard*>(g_tls.shard);
+  return s != nullptr ? s->now : now_;
+}
+
+ParallelDispatch::ShardScope::ShardScope(ParallelDispatch& d,
+                                         std::uint32_t shard)
+    : savedShard_(g_tls.shard),
+      savedLog_(g_tls.portLog),
+      savedIndex_(g_tls.shardIndex),
+      savedInWindow_(g_tls.inWindow) {
+  Shard& s = *d.shards_[shard];
+  g_tls.shard = &s;
+  g_tls.portLog = nullptr;
+  g_tls.shardIndex = static_cast<int>(shard);
+  g_tls.inWindow = false;
+}
+
+ParallelDispatch::ShardScope::~ShardScope() {
+  g_tls.shard = savedShard_;
+  g_tls.portLog = savedLog_;
+  g_tls.shardIndex = savedIndex_;
+  g_tls.inWindow = savedInWindow_;
+}
+
+// --- Scheduling ------------------------------------------------------------
+
+void ParallelDispatch::scheduleFromEngine(Cycle when, Event&& ev) {
+  TlsCtx& t = g_tls;
+  if (t.shard == nullptr) {
+    scheduleGlobal(when, std::move(ev));
+    return;
+  }
+  auto& s = *static_cast<Shard*>(t.shard);
+  if (!t.inWindow) {
+    // Live execution (spawn start-up or a serial cycle): the schedule call
+    // happens in exact sequential program order, so it consumes a real
+    // counter value, just like the sequential engine would.
+    COLIBRI_CHECK_MSG(when >= s.now, "scheduleAt into the past: when="
+                                         << when << " now=" << s.now);
+    s.queue.scheduleWithSeq(when, nextSeq_++, std::move(ev));
+    return;
+  }
+  // Worker window: park the event under a provisional key. kProvisional
+  // guarantees it sorts after every already-sequenced event of the same
+  // cycle, which is exactly where a freshly scheduled event belongs.
+  COLIBRI_CHECK_MSG(when >= s.now, "scheduleAt into the past: when="
+                                       << when << " now=" << s.now);
+  const auto idx = static_cast<std::uint32_t>(s.children.size());
+  Child c;
+  c.kind = Child::kLocal;
+  c.ref = s.queue.scheduleWithSeq(when, kProvisional | idx, std::move(ev));
+  s.children.push_back(c);
+}
+
+void ParallelDispatch::scheduleToShard(std::uint32_t dstShard, Cycle when,
+                                       Event&& ev) {
+  TlsCtx& t = g_tls;
+  if (t.inWindow) {
+    auto& s = *static_cast<Shard*>(t.shard);
+    if (dstShard == s.index) {
+      scheduleFromEngine(when, std::move(ev));
+      return;
+    }
+    // Cross-shard: the destination queue belongs to another worker, so the
+    // delivery is deferred; the merge inserts it with its real seq.
+    const auto sendIdx = static_cast<std::uint32_t>(s.sends.size());
+    ShardSend snd;
+    snd.kind = ShardSend::kDirect;
+    snd.dstShard = dstShard;
+    snd.when = s.now;
+    snd.arrive = when;
+    snd.ev = std::move(ev);
+    s.sends.push_back(std::move(snd));
+    Child c;
+    c.kind = Child::kSend;
+    c.sendIdx = sendIdx;
+    s.children.push_back(c);
+    return;
+  }
+  // Live: schedule straight into the destination shard's queue.
+  COLIBRI_CHECK_MSG(when >= now_, "scheduleAt into the past: when="
+                                      << when << " now=" << now_);
+  shards_[dstShard]->queue.scheduleWithSeq(when, nextSeq_++, std::move(ev));
+}
+
+void ParallelDispatch::deferRequest(std::uint32_t dstShard, CoreId from,
+                                    BankId bank, Event&& ev) {
+  TlsCtx& t = g_tls;
+  COLIBRI_CHECK_MSG(t.inWindow, "deferRequest outside a worker window");
+  auto& s = *static_cast<Shard*>(t.shard);
+  const auto sendIdx = static_cast<std::uint32_t>(s.sends.size());
+  ShardSend snd;
+  snd.kind = ShardSend::kRequest;
+  snd.dstShard = dstShard;
+  snd.when = s.now;
+  snd.from = from;
+  snd.bank = bank;
+  snd.ev = std::move(ev);
+  s.sends.push_back(std::move(snd));
+  Child c;
+  c.kind = Child::kSend;
+  c.sendIdx = sendIdx;
+  s.children.push_back(c);
+}
+
+void ParallelDispatch::scheduleGlobal(Cycle when, Event&& ev) {
+  COLIBRI_CHECK_MSG(!g_tls.inWindow,
+                    "global schedule from inside a worker window");
+  COLIBRI_CHECK_MSG(when >= now_, "scheduleAt into the past: when="
+                                      << when << " now=" << now_);
+  global_.scheduleWithSeq(when, nextSeq_++, std::move(ev));
+}
+
+// --- Driver ----------------------------------------------------------------
+
+std::size_t ParallelDispatch::runUntil(Cycle horizon) {
+  const std::uint64_t before = executedEvents();
+  for (;;) {
+    const Cycle globalMin = global_.minWhen();
+    Cycle m = globalMin;
+    for (const auto& sp : shards_) {
+      m = std::min(m, sp->queue.minWhen());
+    }
+    if (m == kCycleNever || m > horizon) {
+      break;
+    }
+    if (globalMin == m) {
+      // A global event (stats snapshot, stop flag, driver callback) is due
+      // this cycle: it may observe or mutate cross-shard state, so the
+      // whole cycle runs serially in exact seq order.
+      runSerialCycle(m);
+      continue;
+    }
+    Cycle end = m + lookahead_;
+    end = std::min(end, globalMin);  // never run past a global event
+    if (horizon != kCycleNever) {
+      end = std::min(end, horizon + 1);
+    }
+    runWindow(m, end);
+  }
+  if (now_ < lastWhen_) {
+    now_ = lastWhen_;
+  }
+  if (horizon != kCycleNever && now_ < horizon) {
+    now_ = horizon;
+  }
+  return static_cast<std::size_t>(executedEvents() - before);
+}
+
+std::size_t ParallelDispatch::runSerialCycle(Cycle t) {
+  now_ = t;
+  std::size_t ran = 0;
+  for (;;) {
+    // Pick the queue holding the lowest-seq event of cycle t. Every
+    // pending event carries a real counter seq at a serial point (the
+    // preceding sweep re-keyed all provisionals), so the comparison is the
+    // sequential tie-break.
+    EventQueue* best = nullptr;
+    Shard* bestShard = nullptr;
+    std::uint64_t bestSeq = 0;
+    Cycle w = 0;
+    std::uint64_t sq = 0;
+    if (global_.peekEarliest(w, sq) && w == t) {
+      best = &global_;
+      bestSeq = sq;
+    }
+    for (const auto& sp : shards_) {
+      if (sp->queue.peekEarliest(w, sq) && w == t &&
+          (best == nullptr || sq < bestSeq)) {
+        best = &sp->queue;
+        bestShard = sp.get();
+        bestSeq = sq;
+      }
+    }
+    if (best == nullptr) {
+      break;
+    }
+    const TlsCtx saved = g_tls;
+    g_tls.shard = bestShard;
+    g_tls.portLog = nullptr;
+    g_tls.shardIndex = bestShard != nullptr ? static_cast<int>(bestShard->index)
+                                            : -1;
+    g_tls.inWindow = false;
+    struct Restore {
+      const TlsCtx& saved;
+      ~Restore() { g_tls = saved; }
+    } restore{saved};
+    best->runEarliestIfAtMost(
+        t, [this, bestShard](Cycle when, std::uint64_t seq, Event& ev) {
+          if (bestShard != nullptr) {
+            bestShard->now = when;
+          }
+          if (trace_ != nullptr) {
+            trace_->push_back({when, seq});
+          }
+          ev();
+        });
+    ++ran;
+    ++serialExecuted_;
+    lastWhen_ = t;
+  }
+  return ran;
+}
+
+std::size_t ParallelDispatch::runWindow(Cycle start, Cycle end) {
+  const std::uint64_t before = executedEvents();
+  now_ = start;
+  windowEnd_ = end;
+  if (workerCount_ > 1) {
+    ensureWorkers();
+    done_.store(0, std::memory_order_relaxed);
+    // The release publishes every queue mutation from the last sweep /
+    // serial phase to the workers.
+    epoch_.fetch_add(1, std::memory_order_release);
+    runWorkerShards(0);
+    std::uint32_t spins = 0;
+    while (done_.load(std::memory_order_acquire) != workerCount_ - 1) {
+      if (++spins > 4096) {
+        std::this_thread::yield();
+      }
+    }
+  } else {
+    runWorkerShards(0);
+  }
+  rethrowShardError();
+  sweep(end);
+  return static_cast<std::size_t>(executedEvents() - before);
+}
+
+void ParallelDispatch::ensureWorkers() {
+  if (workersStarted_) {
+    return;
+  }
+  workersStarted_ = true;
+  threads_.reserve(workerCount_ - 1);
+  for (std::uint32_t w = 1; w < workerCount_; ++w) {
+    threads_.emplace_back([this, w] { workerLoop(w); });
+  }
+}
+
+void ParallelDispatch::workerLoop(std::uint32_t w) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::uint64_t e = 0;
+    std::uint32_t spins = 0;
+    while ((e = epoch_.load(std::memory_order_acquire)) == seen) {
+      if (++spins > 4096) {
+        std::this_thread::yield();
+      }
+    }
+    seen = e;
+    if (stop_.load(std::memory_order_acquire)) {
+      return;
+    }
+    runWorkerShards(w);
+    done_.fetch_add(1, std::memory_order_acq_rel);
+  }
+}
+
+void ParallelDispatch::runWorkerShards(std::uint32_t w) {
+  // Static shard→worker pinning: shard state stays on one thread's caches
+  // across windows, and the assignment is trivially deterministic.
+  for (std::size_t i = w; i < shards_.size(); i += workerCount_) {
+    Shard& s = *shards_[i];
+    try {
+      runShardWindow(s, windowEnd_);
+    } catch (...) {
+      s.error = std::current_exception();
+    }
+  }
+}
+
+void ParallelDispatch::runShardWindow(Shard& s, Cycle end) {
+  const TlsCtx saved = g_tls;
+  g_tls.shard = &s;
+  g_tls.portLog = &s.portLog;
+  g_tls.shardIndex = static_cast<int>(s.index);
+  g_tls.inWindow = true;
+  struct Restore {
+    const TlsCtx& saved;
+    ~Restore() { g_tls = saved; }
+  } restore{saved};
+  auto fn = [&s](Cycle when, std::uint64_t seq, Event& ev) {
+    s.now = when;
+    ExecRecord e;
+    e.when = when;
+    e.key = seq;
+    e.childBegin = static_cast<std::uint32_t>(s.children.size());
+    e.portBegin = static_cast<std::uint32_t>(s.portLog.size());
+    ev();
+    ++s.executed;
+    e.childEnd = static_cast<std::uint32_t>(s.children.size());
+    e.portEnd = static_cast<std::uint32_t>(s.portLog.size());
+    s.execLog.push_back(e);
+  };
+  while (s.queue.runBatchIfAtMost(end - 1, fn) != 0) {
+  }
+}
+
+void ParallelDispatch::rethrowShardError() {
+  for (const auto& sp : shards_) {
+    if (sp->error) {
+      std::exception_ptr e = sp->error;
+      sp->error = nullptr;
+      std::rethrow_exception(e);
+    }
+  }
+}
+
+// --- Barrier merge ---------------------------------------------------------
+
+std::uint64_t ParallelDispatch::resolvedKey(const Shard& s,
+                                            const ExecRecord& e) const {
+  if (e.key < kProvisional) {
+    return e.key;
+  }
+  // The parent event that scheduled this one sits earlier in the same
+  // shard's exec log, so by the time this record reaches the stream head
+  // its real seq has been assigned.
+  return s.children[e.key & ~kProvisional].resolvedSeq;
+}
+
+void ParallelDispatch::sweep(Cycle end) {
+  // P-way merge of the per-shard exec logs by resolved (when, seq): the
+  // commit order IS the order the sequential engine would have dispatched
+  // these events in. Shard counts are small (<= groups), so a linear scan
+  // over the stream heads beats a heap.
+  for (const auto& sp : shards_) {
+    sp->mergePos = 0;
+  }
+  for (;;) {
+    Shard* best = nullptr;
+    Cycle bw = 0;
+    std::uint64_t bk = 0;
+    for (const auto& sp : shards_) {
+      Shard& s = *sp;
+      if (s.mergePos >= s.execLog.size()) {
+        continue;
+      }
+      const ExecRecord& e = s.execLog[s.mergePos];
+      const std::uint64_t k = resolvedKey(s, e);
+      if (best == nullptr || e.when < bw || (e.when == bw && k < bk)) {
+        best = &s;
+        bw = e.when;
+        bk = k;
+      }
+    }
+    if (best == nullptr) {
+      break;
+    }
+    commitExec(*best, best->execLog[best->mergePos]);
+    ++best->mergePos;
+  }
+  for (const auto& sp : shards_) {
+    sp->execLog.clear();
+    sp->children.clear();
+    sp->sends.clear();
+    sp->portLog.clear();
+  }
+  (void)end;
+}
+
+void ParallelDispatch::commitExec(Shard& s, const ExecRecord& e) {
+  if (trace_ != nullptr) {
+    trace_->push_back({e.when, resolvedKey(s, e)});
+  }
+  lastWhen_ = e.when;  // commits arrive in when order
+  // Replay this event's inline bank-port acquires onto the shadow state:
+  // the post-state of every committed acquire is the pre-state a deferred
+  // send committed next would have observed sequentially.
+  for (std::uint32_t i = e.portBegin; i < e.portEnd; ++i) {
+    hooks_.commitPortAcquire(s.portLog[i].bank, s.portLog[i].at);
+  }
+  // Assign real seqs to this event's schedule calls, in call order — each
+  // consumes exactly one counter value, so the counter stream matches the
+  // sequential engine's bit for bit.
+  for (std::uint32_t i = e.childBegin; i < e.childEnd; ++i) {
+    Child& c = s.children[i];
+    const std::uint64_t seq = nextSeq_++;
+    if (c.kind == Child::kLocal) {
+      c.resolvedSeq = seq;
+      // False (stale handle) iff the child already ran inside the window;
+      // its exec record still resolves through resolvedSeq.
+      s.queue.rekey(c.ref, seq);
+      continue;
+    }
+    ShardSend& snd = s.sends[c.sendIdx];
+    Cycle arrive;
+    if (snd.kind == ShardSend::kRequest) {
+      arrive = hooks_.resolveRequest(snd.from, snd.bank, snd.when);
+    } else {
+      arrive = snd.arrive;
+    }
+    COLIBRI_CHECK_MSG(arrive >= windowEnd_,
+                      "deferred send arrives inside its own window: arrive="
+                          << arrive << " windowEnd=" << windowEnd_);
+    shards_[snd.dstShard]->queue.insertSorted(arrive, seq, std::move(snd.ev));
+  }
+}
+
+// --- Aggregation / teardown ------------------------------------------------
+
+std::size_t ParallelDispatch::pendingEvents() const {
+  std::size_t n = global_.size();
+  for (const auto& sp : shards_) {
+    n += sp->queue.size();
+  }
+  return n;
+}
+
+std::uint64_t ParallelDispatch::executedEvents() const {
+  std::uint64_t n = serialExecuted_;
+  for (const auto& sp : shards_) {
+    n += sp->executed;
+  }
+  return n;
+}
+
+void ParallelDispatch::clearAll() noexcept {
+  global_.clear();
+  for (const auto& sp : shards_) {
+    sp->queue.clear();
+    sp->execLog.clear();
+    sp->children.clear();
+    sp->sends.clear();
+    sp->portLog.clear();
+  }
+}
+
+// --- Engine glue (lives here so the tls context stays file-local) ----------
+
+Cycle Engine::parallelNow() const { return parallel_->nowOnThisThread(); }
+
+void Engine::parallelSchedule(Cycle when, Event&& ev) {
+  parallel_->scheduleFromEngine(when, std::move(ev));
+}
+
+}  // namespace colibri::sim

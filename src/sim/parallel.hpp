@@ -1,0 +1,187 @@
+// Deterministic parallel dispatch: conservative-lookahead windows over
+// topology shards, with a serial barrier merge that reconstructs the exact
+// sequential event order.
+//
+// The model partitions the system into S shards (one per topology group:
+// every core, bank, and their protocol state belong to exactly one shard)
+// executed by up to N worker threads. Time advances in windows [T, T+L)
+// where L is the minimum latency of any *deferred* message class. Within a
+// window each shard drains its own event queue independently; anything that
+// would touch another shard — or a resource whose acquisition order
+// interleaves shards (group routers, inter-group links, tile ingress
+// ports) — is recorded as a deferred intent instead of executed. At the
+// window barrier a single thread merges the per-shard execution logs into
+// the exact order the sequential engine would have produced and resolves
+// every intent at its precise sequential position, which makes the whole
+// simulation bit-identical to the single-threaded engine for any worker
+// count (see docs/ARCHITECTURE.md for the full argument).
+//
+// Sequence numbers: events scheduled inside a window get a *provisional*
+// key (high bit set, ordered by the shard's schedule-call index); the
+// barrier merge then walks commits in sequential order and assigns the
+// same global sequence numbers the sequential engine's counter would have
+// handed out, re-keying still-pending events in place (EventQueue::rekey)
+// and inserting cross-shard deliveries in seq order (insertSorted).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/event.hpp"
+#include "sim/eventqueue.hpp"
+#include "sim/types.hpp"
+
+namespace colibri::sim {
+
+class ParallelDispatch {
+ public:
+  /// Provisional-sequence marker. Within a window, locally scheduled events
+  /// carry kProvisional | childIndex — numerically above every real
+  /// sequence number, so they sort after same-cycle events scheduled in
+  /// earlier (sequentially smaller) calls, exactly like fresh counter
+  /// values would.
+  static constexpr std::uint64_t kProvisional = std::uint64_t{1} << 63;
+
+  /// Shadow bank-port grant state for merge-time backlog probes. While a
+  /// window runs, the first inline port acquire on a bank snapshots the
+  /// pre-acquire state here; the merge then replays acquires in commit
+  /// order, so a deferred send committed between two acquires reads the
+  /// port exactly as the sequential engine would have at that point.
+  struct PortShadow {
+    Cycle cursor = 0;
+    std::uint32_t used = 0;
+    std::uint32_t pending = 0;  ///< logged-but-uncommitted acquires
+  };
+  struct PortAcquire {
+    BankId bank;
+    Cycle at;
+  };
+
+  /// Merge-time callbacks implemented by arch::System (which owns the
+  /// network resources and the bank-port shadows).
+  class Hooks {
+   public:
+    virtual ~Hooks() = default;
+    /// Resolve a deferred core->bank request at its exact sequential
+    /// position: probe the destination backlog, acquire the shared network
+    /// stages, apply the FIFO clamp; returns the delivery cycle.
+    virtual Cycle resolveRequest(CoreId from, BankId bank, Cycle at) = 0;
+    /// Advance the bank's port shadow over one committed inline acquire.
+    virtual void commitPortAcquire(BankId bank, Cycle at) = 0;
+  };
+
+  /// `numWorkers` includes the calling thread (worker 0); `lookahead` is
+  /// the window length L >= 1.
+  ParallelDispatch(Engine& engine, Hooks& hooks, std::uint32_t numShards,
+                   std::uint32_t numWorkers, Cycle lookahead);
+  ~ParallelDispatch();
+  ParallelDispatch(const ParallelDispatch&) = delete;
+  ParallelDispatch& operator=(const ParallelDispatch&) = delete;
+
+  // --- Driver interface (called via Engine) ------------------------------
+  std::size_t runUntil(Cycle horizon);
+  void clearAll() noexcept;
+  [[nodiscard]] Cycle mainNow() const { return now_; }
+  [[nodiscard]] std::size_t pendingEvents() const;
+  [[nodiscard]] std::uint64_t executedEvents() const;
+  void setTrace(std::vector<DispatchRecord>* trace) { trace_ = trace; }
+
+  // --- Scheduling entry points -------------------------------------------
+  /// Engine::scheduleAt lands here: routes to the current shard (worker or
+  /// live serial context) or the global queue (no shard context).
+  void scheduleFromEngine(Cycle when, Event&& ev);
+  /// Schedule a delivery into an explicit shard — the cross-shard-capable
+  /// path used by System for network deliveries with a known arrival time.
+  /// In-window it defers cross-shard sends to the barrier; outside it
+  /// schedules live with the global counter.
+  void scheduleToShard(std::uint32_t dstShard, Cycle when, Event&& ev);
+  /// Defer a core->bank request send (backlog probe + shared-stage
+  /// acquisition happen at the barrier merge, in exact sequential order).
+  /// Only legal from a worker window context.
+  void deferRequest(std::uint32_t dstShard, CoreId from, BankId bank,
+                    Event&& ev);
+  /// Schedule onto the global (boundary-executed) queue; System::at uses
+  /// this. Illegal from inside a worker window.
+  void scheduleGlobal(Cycle when, Event&& ev);
+
+  /// RAII shard context for live (non-window) execution on the main
+  /// thread: System::spawn wraps task start-up with this so initial events
+  /// land in the right shard queue with real counter seqs.
+  class ShardScope {
+   public:
+    ShardScope(ParallelDispatch& d, std::uint32_t shard);
+    ~ShardScope();
+    ShardScope(const ShardScope&) = delete;
+    ShardScope& operator=(const ShardScope&) = delete;
+
+   private:
+    void* savedShard_;
+    std::vector<PortAcquire>* savedLog_;
+    int savedIndex_;
+    bool savedInWindow_;
+  };
+
+  /// Simulated time as seen by the calling thread: the current shard's
+  /// clock inside a shard context, else the main (inter-window) clock.
+  /// Engine::now() lands here in parallel mode.
+  [[nodiscard]] Cycle nowOnThisThread() const noexcept;
+
+  // --- Thread-local context queries (valid on any thread) ----------------
+  /// Shard index if the calling thread is inside a worker window, else -1.
+  /// Network stats routing keys off this.
+  [[nodiscard]] static int currentWindowShard() noexcept;
+  /// The current shard's port-acquire log when inside a worker window,
+  /// else nullptr. Bank::receive records inline acquires through this.
+  [[nodiscard]] static std::vector<PortAcquire>* currentPortLog() noexcept;
+  /// True iff the calling thread is executing inside a worker window (so
+  /// sends must be deferred rather than resolved live).
+  [[nodiscard]] static bool inWindowContext() noexcept;
+
+ private:
+  struct Shard;
+  struct ShardSend;
+  struct Child;
+  struct ExecRecord;
+
+  void ensureWorkers();
+  void workerLoop(std::uint32_t w);
+  void runWorkerShards(std::uint32_t w);
+  void runShardWindow(Shard& s, Cycle end);
+  std::size_t runWindow(Cycle start, Cycle end);
+  std::size_t runSerialCycle(Cycle t);
+  void sweep(Cycle end);
+  void commitExec(Shard& s, const ExecRecord& e);
+  [[nodiscard]] std::uint64_t resolvedKey(const Shard& s,
+                                          const ExecRecord& e) const;
+  void rethrowShardError();
+
+  Engine& engine_;
+  Hooks& hooks_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  EventQueue global_;  ///< System::at / driver events, executed serially
+  std::uint64_t nextSeq_ = 0;
+  Cycle lookahead_;
+  Cycle now_ = 0;       ///< main-thread clock (between windows / serial)
+  Cycle lastWhen_ = 0;  ///< when of the latest executed event
+  Cycle windowEnd_ = 0;
+  std::uint64_t serialExecuted_ = 0;
+  std::vector<DispatchRecord>* trace_ = nullptr;
+
+  // Worker pool: workers wait for epoch_ to advance, run their shards up
+  // to windowEnd_, then bump done_. The epoch/done pair is the barrier and
+  // the memory fence publishing queue state in both directions.
+  std::uint32_t workerCount_;
+  std::vector<std::thread> threads_;
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<std::uint32_t> done_{0};
+  std::atomic<bool> stop_{false};
+  bool workersStarted_ = false;
+};
+
+}  // namespace colibri::sim

@@ -1,0 +1,269 @@
+// Deterministic parallel engine tests: the conservative-lookahead
+// dispatcher (sim/parallel.*) must produce the *bit-identical* schedule —
+// same (cycle, sequence) dispatch stream, same results — as the
+// sequential engine for every worker count. These tests compare full
+// Engine dispatch traces (the strongest check: any reordering at all
+// fails), end-to-end CLI outputs across worker counts, the global
+// serial-cycle path, and the coroutine frame pool's steady-state
+// behavior.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "arch/system.hpp"
+#include "cli/driver.hpp"
+#include "sim/framepool.hpp"
+#include "sync/atomic.hpp"
+#include "test_util.hpp"
+
+namespace colibri::arch {
+namespace {
+
+// 64 cores in 8 groups: enough shards for 8 workers, small enough that a
+// full contended run plus trace comparison stays sub-second.
+SystemConfig eightGroups(AdapterKind adapter, std::uint32_t engineThreads) {
+  SystemConfig c;
+  c.numCores = 64;
+  c.coresPerTile = 4;
+  c.tilesPerGroup = 2;
+  c.banksPerTile = 4;
+  c.wordsPerBank = 64;
+  c.adapter = adapter;
+  c.engineThreads = engineThreads;
+  return c;
+}
+
+sim::Task incrementer(System& sys, Core& core, sim::Addr a, int iters,
+                      sync::RmwFlavor flavor) {
+  auto rng = sim::Xoshiro256::forStream(sys.config().seed, core.id());
+  sync::Backoff bo(sync::BackoffPolicy::fixed(32), rng);
+  for (int i = 0; i < iters; ++i) {
+    const auto r = co_await sync::fetchAdd(core, flavor, a, 1, bo);
+    EXPECT_TRUE(r.performed);
+  }
+}
+
+struct TracedRun {
+  std::vector<sim::DispatchRecord> trace;
+  std::uint64_t executed = 0;
+  sim::Word finalValue = 0;
+};
+
+// Run the full-contention incrementer (every core hammering one word
+// through real banks and network) and capture the engine's dispatch
+// stream.
+TracedRun runTraced(const SystemConfig& cfg, sync::RmwFlavor flavor,
+                    int iters) {
+  System sys(cfg);
+  TracedRun out;
+  sys.engine().setTrace(&out.trace);
+  const auto a = sys.allocator().allocGlobal(1);
+  for (sim::CoreId c = 0; c < cfg.numCores; ++c) {
+    sys.spawn(c, incrementer(sys, sys.core(c), a, iters, flavor));
+  }
+  sys.run();
+  sys.rethrowFailures();
+  EXPECT_TRUE(sys.allTasksDone());
+  out.executed = sys.engine().executedEvents();
+  out.finalValue = sys.peek(a);
+  return out;
+}
+
+void expectSameTrace(const TracedRun& seq, const TracedRun& par,
+                     const std::string& label) {
+  ASSERT_EQ(seq.trace.size(), par.trace.size()) << label;
+  for (std::size_t i = 0; i < seq.trace.size(); ++i) {
+    ASSERT_EQ(seq.trace[i].when, par.trace[i].when)
+        << label << ": dispatch " << i << " cycle diverged";
+    ASSERT_EQ(seq.trace[i].seq, par.trace[i].seq)
+        << label << ": dispatch " << i << " sequence diverged (when="
+        << seq.trace[i].when << ")";
+  }
+  EXPECT_EQ(seq.executed, par.executed) << label;
+  EXPECT_EQ(seq.finalValue, par.finalValue) << label;
+}
+
+TEST(ParallelEngine, ActivatesOnlyWithThreadsAndGroups) {
+  // engineThreads == 1: always sequential.
+  EXPECT_FALSE(System(eightGroups(AdapterKind::kAmoOnly, 1)).parallelEngine());
+  // Threads requested and 8 groups available: parallel.
+  EXPECT_TRUE(System(eightGroups(AdapterKind::kAmoOnly, 4)).parallelEngine());
+  // One group (16 tiles/group swallows all 16 tiles): nothing to shard,
+  // so the request quietly falls back to the sequential engine.
+  auto one = eightGroups(AdapterKind::kAmoOnly, 4);
+  one.tilesPerGroup = 16;
+  EXPECT_FALSE(System(one).parallelEngine());
+}
+
+// The core guarantee: the parallel engine's committed dispatch stream is
+// the sequential engine's stream, record for record, for every worker
+// count — on a retry-based adapter (timing feeds back into control flow
+// through LR/SC failures) and on the waiting Colibri adapter (cross-core
+// wake-ups, Mwait sleeps).
+TEST(ParallelEngine, DispatchTraceMatchesSequential) {
+  struct Case {
+    AdapterKind adapter;
+    sync::RmwFlavor flavor;
+  };
+  for (const Case& kase :
+       {Case{AdapterKind::kLrscSingle, sync::RmwFlavor::kLrsc},
+        Case{AdapterKind::kColibri, sync::RmwFlavor::kLrscWait}}) {
+    const auto seq =
+        runTraced(eightGroups(kase.adapter, 1), kase.flavor, 25);
+    ASSERT_GT(seq.trace.size(), 1000u);  // a real run, not a stub
+    EXPECT_EQ(seq.finalValue, 64u * 25u);
+    for (const std::uint32_t threads : {2u, 4u, 8u}) {
+      const auto par =
+          runTraced(eightGroups(kase.adapter, threads), kase.flavor, 25);
+      expectSameTrace(seq, par,
+                      std::string(toString(kase.adapter)) + " x threads=" +
+                          std::to_string(threads));
+    }
+  }
+}
+
+// The acceptance-scale case: 1024 cores / 16 groups, each core issuing
+// bank-spread atomic adds. Short but wide — exercises the merge with all
+// 16 shards active every window.
+TEST(ParallelEngine, DispatchTraceMatchesSequentialAt1024Cores) {
+  SystemConfig cfg;  // default geometry: 4 cores/tile, 16 tiles/group
+  cfg.numCores = 1024;
+  cfg.adapter = AdapterKind::kAmoOnly;
+  cfg.engineThreads = 1;
+  const auto seq = runTraced(cfg, sync::RmwFlavor::kAmo, 6);
+  ASSERT_GT(seq.trace.size(), 10000u);
+  EXPECT_EQ(seq.finalValue, 1024u * 6u);
+  cfg.engineThreads = 8;
+  const auto par = runTraced(cfg, sync::RmwFlavor::kAmo, 6);
+  expectSameTrace(seq, par, "1024 cores x threads=8");
+}
+
+// Global System::at events run in serial cycles between windows; their
+// observations of simulated state must match the sequential engine
+// exactly, including callbacks that schedule further callbacks.
+TEST(ParallelEngine, GlobalAtCallbacksObserveIdenticalState) {
+  auto observe = [](std::uint32_t engineThreads) {
+    auto cfg = eightGroups(AdapterKind::kLrscSingle, engineThreads);
+    System sys(cfg);
+    const auto a = sys.allocator().allocGlobal(1);
+    for (sim::CoreId c = 0; c < cfg.numCores; ++c) {
+      sys.spawn(c, incrementer(sys, sys.core(c), a, 20,
+                               sync::RmwFlavor::kLrsc));
+    }
+    std::vector<std::pair<sim::Cycle, sim::Word>> seen;
+    for (const sim::Cycle when : {17u, 63u, 200u, 512u}) {
+      sys.at(when, [&sys, &seen, a] {
+        seen.emplace_back(sys.now(), sys.peek(a));
+        // Reentrant global scheduling from inside a serial cycle.
+        sys.at(sys.now() + 11, [&sys, &seen, a] {
+          seen.emplace_back(sys.now(), sys.peek(a));
+        });
+      });
+    }
+    sys.run();
+    sys.rethrowFailures();
+    EXPECT_EQ(sys.peek(a), 64u * 20u);
+    return seen;
+  };
+  const auto seq = observe(1);
+  ASSERT_EQ(seq.size(), 8u);
+  for (const std::uint32_t threads : {2u, 8u}) {
+    EXPECT_EQ(seq, observe(threads)) << "threads=" << threads;
+  }
+}
+
+// step() and advanceTo() are defined only for the sequential engine; the
+// parallel backend refuses them loudly instead of desynchronizing.
+TEST(ParallelEngine, StepAndAdvanceToAreSequentialOnly) {
+  System sys(eightGroups(AdapterKind::kAmoOnly, 4));
+  ASSERT_TRUE(sys.parallelEngine());
+  EXPECT_THROW((void)sys.engine().step(), sim::InvariantViolation);
+  EXPECT_THROW(sys.engine().advanceTo(10), sim::InvariantViolation);
+}
+
+// End-to-end: the CLI must print byte-identical reports for every
+// --engine-threads value, across adapter x workload combinations that
+// cover wgen kernels, the data-structure workloads, and waiting adapters.
+TEST(ParallelEngine, CliOutputIdenticalAcrossWorkerCounts) {
+  const std::vector<std::pair<std::string, std::string>> combos = {
+      {"colibri", "zipf_hot"},
+      {"lrsc_single", "histogram"},
+      {"lrscwait", "msqueue"},
+      {"amo", "uniform_fa"},
+  };
+  for (const auto& [adapter, workload] : combos) {
+    std::string baseline;
+    for (const char* threads : {"1", "2", "4", "8"}) {
+      std::ostringstream out;
+      std::ostringstream err;
+      const int rc = cli::runMain(
+          {"--adapter", adapter, "--workload", workload, "--cores", "64",
+           "--tiles-per-group", "4", "--warmup", "500", "--measure", "2000",
+           "--csv", "--engine-threads", threads},
+          out, err);
+      ASSERT_EQ(rc, 0) << adapter << " x " << workload << ": " << err.str();
+      if (baseline.empty()) {
+        baseline = out.str();
+        ASSERT_FALSE(baseline.empty());
+      } else {
+        EXPECT_EQ(out.str(), baseline)
+            << adapter << " x " << workload << " --engine-threads " << threads;
+      }
+    }
+  }
+}
+
+// The --json document is part of the stable output surface: it must not
+// mention the engine-thread count (a wall-clock knob, not a result), and
+// it must be byte-identical under the parallel engine.
+TEST(ParallelEngine, JsonOmitsEngineThreadsAndStaysIdentical) {
+  auto runJson = [](const char* threads) {
+    std::ostringstream out;
+    std::ostringstream err;
+    const int rc = cli::runMain(
+        {"--workload", "histogram", "--cores", "64", "--tiles-per-group",
+         "4", "--warmup", "500", "--measure", "2000", "--reps", "2",
+         "--json", "--engine-threads", threads},
+        out, err);
+    EXPECT_EQ(rc, 0) << err.str();
+    return out.str();
+  };
+  const std::string seq = runJson("1");
+  const std::string par = runJson("8");
+  EXPECT_EQ(seq, par);
+  EXPECT_EQ(par.find("engine"), std::string::npos);
+  EXPECT_EQ(par.find("Threads"), std::string::npos);
+}
+
+// Frame pool steady state: once a simulation's coroutine frames have been
+// seen, re-running the same workload recycles pooled blocks — the pool
+// serves every frame and the heap-fallback counter does not move.
+TEST(ParallelEngine, FramePoolServesSteadyStateWithoutHeapFallback) {
+  auto runOnce = [] {
+    auto cfg = eightGroups(AdapterKind::kLrscSingle, 2);
+    System sys(cfg);
+    const auto a = sys.allocator().allocGlobal(1);
+    for (sim::CoreId c = 0; c < cfg.numCores; ++c) {
+      sys.spawn(c, incrementer(sys, sys.core(c), a, 10,
+                               sync::RmwFlavor::kLrsc));
+    }
+    sys.run();
+    sys.rethrowFailures();
+  };
+  runOnce();  // warm the size-class free lists
+  const auto pooledBefore = sim::framepool::pooledFrameCount();
+  const auto heapBefore = sim::framepool::heapFrameCount();
+  const auto arenaBefore = sim::framepool::arenaBytes();
+  runOnce();
+  EXPECT_GT(sim::framepool::pooledFrameCount(), pooledBefore)
+      << "coroutine frames bypassed the pool";
+  EXPECT_EQ(sim::framepool::heapFrameCount(), heapBefore)
+      << "steady-state frame fell back to the system heap";
+  EXPECT_EQ(sim::framepool::arenaBytes(), arenaBefore)
+      << "steady-state re-run grew the arena";
+}
+
+}  // namespace
+}  // namespace colibri::arch
