@@ -93,14 +93,24 @@ def gbench_series(report, normalize):
 DIRECTION = {"opsPerCycle": 1, "rate": 1, "p99": -1}
 
 
-def compare(base, cur, threshold):
-    """Return (regressions, rows) comparing metric dicts keyed by series."""
+def compare(base, cur, threshold, presence_only=False):
+    """Return (regressions, rows) comparing metric dicts keyed by series.
+
+    With presence_only, magnitudes are not gated: only a series missing
+    from the current run is a regression. Used when the baseline was
+    recorded on a single-CPU host (context.num_cpus == 1), where the
+    parallel-engine series measure dispatcher overhead rather than
+    speedup and their relative shape is not portable.
+    """
     regressions = []
     rows = []
     for name in sorted(base):
         if name not in cur:
             rows.append((name, "-", "-", "-", "MISSING"))
             regressions.append(f"{name}: series missing from current run")
+            continue
+        if presence_only:
+            rows.append((name, "-", "-", "-", "present"))
             continue
         for metric, b in sorted(base[name].items()):
             c = cur[name].get(metric)
@@ -195,6 +205,19 @@ def self_test(threshold):
         print("bench_compare: self-test FAILED (dropped thread series not "
               "flagged)")
         return 1
+
+    # Presence-only mode (single-CPU baseline): magnitude collapses pass,
+    # missing series still fail.
+    ok, _ = compare(sweep_base, collapsed, threshold, presence_only=True)
+    if ok:
+        print("bench_compare: self-test FAILED (presence-only gated on "
+              "magnitude)")
+        return 1
+    hit, _ = compare(sweep_base, dropped, threshold, presence_only=True)
+    if not hit:
+        print("bench_compare: self-test FAILED (presence-only missed a "
+              "dropped series)")
+        return 1
     print("bench_compare: self-test passed")
     return 0
 
@@ -240,19 +263,31 @@ def main() -> int:
     if base_doc is None or cur_doc is None:
         return 1
 
+    presence_only = False
     if args.mode == "exp":
         base = exp_series(base_doc)
         cur = exp_series(cur_doc)
     else:
         base = gbench_series(base_doc, args.normalize)
         cur = gbench_series(cur_doc, args.normalize)
+        # A baseline recorded on a one-CPU host has no meaningful shape for
+        # the engine-threads sweeps (every parallel series is pure
+        # dispatcher overhead there), so gate on presence only.
+        presence_only = (
+            base_doc.get("context", {}).get("num_cpus") == 1
+        )
     if base is None or cur is None:
         return 1
     if not base:
         print("bench_compare: baseline has no comparable series", file=sys.stderr)
         return 1
 
-    regressions, rows = compare(base, cur, args.threshold)
+    if presence_only:
+        print(
+            "bench_compare: baseline context.num_cpus == 1 — gating on "
+            "series presence only"
+        )
+    regressions, rows = compare(base, cur, args.threshold, presence_only)
     width = max(len(name) for name, *_ in rows)
     print(f"bench_compare: {args.baseline} vs {args.current} "
           f"(threshold {args.threshold:.0%}"

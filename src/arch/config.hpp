@@ -97,6 +97,20 @@ struct SystemConfig {
     return static_cast<std::uint64_t>(numBanks()) * wordsPerBank;
   }
 
+  /// Conservative window length for the deterministic parallel engine: the
+  /// minimum latency of any message class that crosses a topology-group
+  /// shard boundary. Shards are groups, and the only traffic between two
+  /// groups is remote-group traffic (requests and responses alike pay
+  /// latRemoteGroup before touching the other shard; the injection stages a
+  /// request holds on the way out add delay but never subtract). Intra-
+  /// shard classes — local-tile and same-group — execute inline within a
+  /// window and therefore never bound it, even in the asymmetric case
+  /// latSameGroup > latRemoteGroup. System::injectRequest asserts the
+  /// premise: every deferred (cross-shard) send is kRemoteGroup distance.
+  [[nodiscard]] std::uint32_t crossShardLookahead() const {
+    return latRemoteGroup;
+  }
+
   void validate() const {
     COLIBRI_CHECK(numCores >= 1 && coresPerTile >= 1);
     COLIBRI_CHECK(numCores % coresPerTile == 0);

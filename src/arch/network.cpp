@@ -13,12 +13,25 @@ namespace colibri::arch {
 static_assert(std::is_nothrow_move_constructible_v<sim::InlineEvent> &&
               std::is_nothrow_move_assignable_v<sim::InlineEvent>);
 
+namespace {
+
+/// Largest pair count for which debug builds afford the dense cross-check
+/// matrices (2 x 32 MiB at the cap; the 4k-core geometry's 67M pairs are
+/// exactly what the sparse layout exists to avoid allocating).
+constexpr std::size_t kDenseCheckMaxPairs = std::size_t{4} << 20;
+
+constexpr std::size_t kDistanceClasses = 3;
+
+}  // namespace
+
 Network::Network(Engine& engine, const SystemConfig& cfg)
     : engine_(engine), topo_(cfg), cfg_(cfg) {
   const std::uint32_t groups = cfg.numGroups();
   localRouters_.reserve(groups);
+  groupEgress_.reserve(groups);
   for (std::uint32_t g = 0; g < groups; ++g) {
     localRouters_.emplace_back(cfg.localGroupBandwidth);
+    groupEgress_.emplace_back(cfg.localGroupBandwidth);
   }
   groupLinks_.reserve(static_cast<std::size_t>(groups) * groups);
   for (std::uint32_t i = 0; i < groups * groups; ++i) {
@@ -28,10 +41,26 @@ Network::Network(Engine& engine, const SystemConfig& cfg)
   for (std::uint32_t t = 0; t < cfg.numTiles(); ++t) {
     tileIngress_.emplace_back(cfg.tileIngressBandwidth);
   }
+  lastRequestToBank_.assign(cfg.numBanks() * kDistanceClasses, 0);
+  lastResponseFromBank_.assign(cfg.numBanks() * kDistanceClasses, 0);
+#ifndef NDEBUG
   const std::size_t pairs =
       static_cast<std::size_t>(cfg.numCores) * cfg.numBanks();
-  lastCoreToBank_.assign(pairs, 0);
-  lastBankToCore_.assign(pairs, 0);
+  if (pairs <= kDenseCheckMaxPairs) {
+    denseCoreToBank_.assign(pairs, 0);
+    denseBankToCore_.assign(pairs, 0);
+  }
+#endif
+}
+
+std::size_t Network::clampBytes() const {
+  return (lastRequestToBank_.capacity() + lastResponseFromBank_.capacity()) *
+         sizeof(Cycle);
+}
+
+std::size_t Network::denseClampBytes(const SystemConfig& cfg) {
+  return 2 * static_cast<std::size_t>(cfg.numCores) * cfg.numBanks() *
+         sizeof(Cycle);
 }
 
 Cycle Network::baseLatency(Distance d) const {
@@ -61,19 +90,19 @@ Cycle Network::acquireRequestPath(GroupId srcGroup, GroupId dstGroup,
     case Distance::kLocalTile:
       return at;  // dedicated path, no shared stage
     case Distance::kSameGroup: {
-      // Group router, then the destination tile's ingress port (shared by
-      // all of that tile's banks). Stages are FIFO, so ordering holds.
-      const Cycle router = localRouters_[srcGroup].acquire(at, holdSlots);
-      const Cycle granted = tileIngress_[dstTile].acquire(router, holdSlots);
+      // The group's local (inter-tile) crossbar — the only shared stage on
+      // the intra-group path, touched by no other group's traffic.
+      const Cycle granted = localRouters_[srcGroup].acquire(at, holdSlots);
       st.totalQueueingDelay += granted - at;
       return granted;
     }
     case Distance::kRemoteGroup: {
-      // Router, directed inter-group link, destination tile ingress.
-      const Cycle router = localRouters_[srcGroup].acquire(at, holdSlots);
+      // Source-group egress port, directed inter-group link, destination
+      // tile's remote ingress — all touched only by remote traffic.
+      const Cycle egress = groupEgress_[srcGroup].acquire(at, holdSlots);
       const std::size_t link =
           static_cast<std::size_t>(srcGroup) * cfg_.numGroups() + dstGroup;
-      const Cycle linkCleared = groupLinks_[link].acquire(router, holdSlots);
+      const Cycle linkCleared = groupLinks_[link].acquire(egress, holdSlots);
       const Cycle granted =
           tileIngress_[dstTile].acquire(linkCleared, holdSlots);
       st.totalQueueingDelay += granted - at;
@@ -98,15 +127,35 @@ Cycle Network::routeRequest(CoreId c, BankId b, Cycle at,
   const Cycle cleared = acquireRequestPath(
       topo_.groupOfTile(srcTile), topo_.groupOfTile(dstTile), dstTile, d, at,
       holdSlots == 0 ? 1 : holdSlots, st);
-  // FIFO clamp: never deliver earlier than a previously sent message on
-  // the same (src, dst) pair.
-  Cycle arrive = cleared + baseLatency(d);
-  Cycle& last =
-      lastCoreToBank_[static_cast<std::size_t>(c) * cfg_.numBanks() + b];
-  if (arrive < last) {
-    arrive = last;
-  }
+  // FIFO clamp: no message of a class may be delivered into this bank
+  // earlier than its predecessor of the same class. Per-pair FIFO follows
+  // (a pair is a subsequence of its (bank, class) stream), and the clamp
+  // provably never binds — every message of the stream traverses the same
+  // stage chain, stage grants never decrease in acquire order, and the
+  // class's base latency is constant — so it is enforced as a hard check
+  // rather than silently rewriting the delivery cycle.
+  const Cycle arrive = cleared + baseLatency(d);
+  Cycle& last = lastRequestToBank_[static_cast<std::size_t>(b) *
+                                       kDistanceClasses +
+                                   static_cast<std::size_t>(d)];
+  COLIBRI_CHECK_MSG(arrive >= last,
+                    "request FIFO order violated into bank "
+                        << b << ": arrive " << arrive << " < last " << last);
   last = arrive;
+#ifndef NDEBUG
+  if (!denseCoreToBank_.empty()) {
+    // Exhaustive cross-check against the retired dense per-pair clamp: the
+    // sparse layout must deliver exactly what the dense one would have.
+    Cycle& pairLast =
+        denseCoreToBank_[static_cast<std::size_t>(c) * cfg_.numBanks() + b];
+    const Cycle denseArrive = arrive < pairLast ? pairLast : arrive;
+    COLIBRI_CHECK_MSG(denseArrive == arrive,
+                      "sparse clamp diverged from dense per-pair clamp: core "
+                          << c << " -> bank " << b << " arrive " << arrive
+                          << " dense " << denseArrive);
+    pairLast = denseArrive;
+  }
+#endif
   return arrive;
 }
 
@@ -121,13 +170,29 @@ Cycle Network::routeResponse(BankId b, CoreId c, Cycle at) {
   st.messagesByDistance[static_cast<std::size_t>(d)]++;
   st.totalMessages++;
 
-  Cycle arrive = at + baseLatency(d);
-  Cycle& last =
-      lastBankToCore_[static_cast<std::size_t>(b) * cfg_.numCores + c];
-  if (arrive < last) {
-    arrive = last;
-  }
+  // Responses are pure latency, so per-(bank, class) arrivals are monotone
+  // in send order and the clamp never binds (same argument as requests,
+  // with an empty stage chain).
+  const Cycle arrive = at + baseLatency(d);
+  Cycle& last = lastResponseFromBank_[static_cast<std::size_t>(b) *
+                                          kDistanceClasses +
+                                      static_cast<std::size_t>(d)];
+  COLIBRI_CHECK_MSG(arrive >= last,
+                    "response FIFO order violated from bank "
+                        << b << ": arrive " << arrive << " < last " << last);
   last = arrive;
+#ifndef NDEBUG
+  if (!denseBankToCore_.empty()) {
+    Cycle& pairLast =
+        denseBankToCore_[static_cast<std::size_t>(b) * cfg_.numCores + c];
+    const Cycle denseArrive = arrive < pairLast ? pairLast : arrive;
+    COLIBRI_CHECK_MSG(denseArrive == arrive,
+                      "sparse clamp diverged from dense per-pair clamp: bank "
+                          << b << " -> core " << c << " arrive " << arrive
+                          << " dense " << denseArrive);
+    pairLast = denseArrive;
+  }
+#endif
   return arrive;
 }
 
@@ -165,6 +230,9 @@ void Network::resetStats() {
   for (auto& r : localRouters_) {
     r.resetStats();
   }
+  for (auto& r : groupEgress_) {
+    r.resetStats();
+  }
   for (auto& r : groupLinks_) {
     r.resetStats();
   }
@@ -176,6 +244,9 @@ void Network::resetStats() {
 std::uint64_t Network::linkQueueingDelay() const {
   std::uint64_t total = 0;
   for (const auto& r : localRouters_) {
+    total += r.totalQueueingDelay();
+  }
+  for (const auto& r : groupEgress_) {
     total += r.totalQueueingDelay();
   }
   for (const auto& r : groupLinks_) {

@@ -2,26 +2,43 @@
 //
 // Messages between cores and banks take a latency determined by the
 // distance class (local tile / same group / remote group) plus queueing
-// delay on shared resources:
-//   - each group's local router (intra-group, inter-tile traffic),
-//   - each directed group-to-group link (remote traffic).
-// Local-tile traffic bypasses both (dedicated single-cycle paths).
+// delay on shared resources. Each distance class owns a disjoint set of
+// stages (mirroring MemPool's separate local and remote tile ports):
+//   - local tile:   dedicated single-cycle path, no shared stage;
+//   - same group:   the group's local router (intra-group, inter-tile
+//                   crossbar);
+//   - remote group: the source group's egress port, the directed
+//                   group-to-group link, and the destination tile's remote
+//                   ingress port (shared by all of that tile's banks).
+// The disjointness is deliberate: it gives every stage a single ordering
+// domain — intra-group stages are touched only by their own group's
+// traffic (one shard of the parallel engine, executed inline), remote
+// stages only by deferred cross-shard traffic (resolved serially at the
+// barrier merge) — which is what lets the parallel engine widen its
+// window to the cross-shard minimum latency while staying bit-identical
+// to the sequential engine (docs/ARCHITECTURE.md).
 //
 // Delivery is FIFO per (source endpoint, destination endpoint) pair. This
-// is guaranteed structurally (fixed latency + FIFO resources) and enforced
-// with a per-pair clamp, because Colibri's correctness argument relies on
-// ordered memory transactions (Section IV-A): an SCwait and the
-// WakeUpRequest dispatched right behind it must not be reordered.
-// The clamp is two flat direct-indexed arrays (core->bank and bank->core),
-// sized numCores()*numBanks() from the config — one indexed load per
-// message instead of a hash probe, and no packed-key collisions.
+// is guaranteed structurally — fixed latency per class plus FIFO stages
+// whose grants never decrease in acquire order — and enforced with a
+// clamp, because Colibri's correctness argument relies on ordered memory
+// transactions (Section IV-A): an SCwait and the WakeUpRequest dispatched
+// right behind it must not be reordered. Because a pair's messages all
+// traverse the same stage chain and add the same base latency, per-pair
+// FIFO already follows from per-(endpoint, distance-class) monotonicity,
+// so the clamp state is two numBanks() x 3 arrays (requests keyed by
+// destination bank, responses by source bank) — O(cores + banks) instead
+// of the O(cores * banks) dense pair matrix, which at 4096 cores x 16384
+// banks would cost over a gigabyte. Debug builds on small geometries
+// cross-check every message against the dense per-pair clamp.
 //
-// Only the request direction contends for link bandwidth; responses use
+// Only the request direction contends for stage bandwidth; responses use
 // dedicated return paths (as in MemPool's full-duplex interconnect) with
 // pure latency. Bank-port serialization is handled by the Bank itself.
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -96,10 +113,19 @@ class Network {
   /// indicator used by interference analyses).
   [[nodiscard]] std::uint64_t linkQueueingDelay() const;
 
+  /// Bytes of FIFO-clamp state actually allocated (the sparse per-bank
+  /// per-distance-class arrays; excludes the debug cross-check).
+  [[nodiscard]] std::size_t clampBytes() const;
+
+  /// Bytes the retired dense per-pair clamp layout would need for `cfg`:
+  /// two numCores * numBanks arrays of Cycle. Kept as a static formula so
+  /// the 4k-core smoke test can assert the sparse layout's savings.
+  [[nodiscard]] static std::size_t denseClampBytes(const SystemConfig& cfg);
+
  private:
-  /// Claim link resources for a request departing at `at`; returns the
-  /// cycle the message clears the contended stage. Queueing delay counts
-  /// into `st`.
+  /// Claim the request path's shared stages for a message departing at
+  /// `at`; returns the cycle it clears the last contended stage. Queueing
+  /// delay counts into `st`.
   Cycle acquireRequestPath(GroupId srcGroup, GroupId dstGroup, TileId dstTile,
                            Distance d, Cycle at, std::uint32_t holdSlots,
                            NetworkStats& st);
@@ -111,13 +137,26 @@ class Network {
   Engine& engine_;
   Topology topo_;
   SystemConfig cfg_;
+  // Shared stages, each owned by exactly one distance class (see header
+  // comment): same-group traffic uses the group's local router; remote
+  // traffic uses source egress -> directed link -> destination ingress.
   std::vector<sim::ThroughputResource> localRouters_;  // one per group
+  std::vector<sim::ThroughputResource> groupEgress_;   // one per group
   std::vector<sim::ThroughputResource> groupLinks_;    // numGroups^2, directed
-  std::vector<sim::ThroughputResource> tileIngress_;   // one per tile
-  // FIFO clamps: last scheduled delivery per directed endpoint pair, flat
-  // direct-indexed (row = source id).
-  std::vector<Cycle> lastCoreToBank_;  // [c * numBanks + b]
-  std::vector<Cycle> lastBankToCore_;  // [b * numCores + c]
+  std::vector<sim::ThroughputResource> tileIngress_;   // one per tile, remote
+  // FIFO clamps: last scheduled delivery per (bank, distance class). The
+  // structural argument in the header comment makes these equivalent to
+  // the dense per-pair clamp at O(banks) memory; indexed [id * 3 + class].
+  std::vector<Cycle> lastRequestToBank_;    // requests, keyed by dst bank
+  std::vector<Cycle> lastResponseFromBank_; // responses, keyed by src bank
+#ifndef NDEBUG
+  // Debug cross-check: the dense per-pair clamps, maintained alongside the
+  // sparse ones on small geometries so every message's delivery can be
+  // verified against the retired layout (empty when the geometry is too
+  // large to afford the dense matrix).
+  std::vector<Cycle> denseCoreToBank_;  // [c * numBanks + b]
+  std::vector<Cycle> denseBankToCore_;  // [b * numCores + c]
+#endif
   NetworkStats stats_;
   std::vector<NetworkStats> shardStats_;  // parallel mode, one per shard
 };

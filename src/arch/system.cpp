@@ -49,12 +49,17 @@ System::System(const SystemConfig& cfg)
 
 void System::enableParallelEngine() {
   // Shards are topology groups: every core, bank, qnode and adapter
-  // belongs to exactly one group, and only local-tile traffic (which is
-  // intra-group by construction) executes inline inside windows. The
-  // lookahead is the smallest latency of any deferred (non-local-tile)
-  // message class: nothing sent in a window can arrive inside it.
+  // belongs to exactly one group, and all intra-group traffic — local-tile
+  // and same-group alike — executes inline inside windows (its shared
+  // stages and clamp streams are touched by this group alone, so inline
+  // resolution is already the exact sequential computation). Only
+  // cross-group traffic is deferred, which makes the window length the
+  // true cross-shard minimum latency, latRemoteGroup: nothing sent in a
+  // window can reach another shard inside it, even when
+  // latSameGroup > latRemoteGroup (intra-shard latencies never bound the
+  // window; injectRequest checks the premise on every deferred send).
   const std::uint32_t groups = cfg_.numGroups();
-  const sim::Cycle lookahead = std::min(cfg_.latSameGroup, cfg_.latRemoteGroup);
+  const sim::Cycle lookahead = cfg_.crossShardLookahead();
   if (groups < 2 || lookahead < 1) {
     return;  // nothing to parallelize; keep the sequential engine
   }
@@ -130,12 +135,18 @@ void System::injectRequest(CoreId from, const MemRequest& req) {
                 "request-injection closure must fit the inline event buffer");
 
   if (dispatch_ != nullptr && sim::ParallelDispatch::inWindowContext() &&
-      topology().coreToBank(from, b) != Distance::kLocalTile) {
-    // Any send that touches shared network stages (group router, link,
-    // tile ingress) interleaves with other shards' traffic, so the backlog
-    // probe and stage acquisition happen at the barrier merge, at this
-    // send's exact sequential position (resolveRequest below). Local-tile
-    // traffic has a dedicated path and stays inline.
+      shardOfCore_[from] != shardOfBank_[b]) {
+    // Cross-shard send: the destination bank's backlog and the remote
+    // stages (group egress, link, tile ingress) interleave with other
+    // shards' traffic, so the probe and stage acquisition happen at the
+    // barrier merge, at this send's exact sequential position
+    // (resolveRequest below). Intra-shard traffic — local-tile and
+    // same-group — resolves inline: its stages and clamp streams belong to
+    // this shard alone. The window length is latRemoteGroup, so every
+    // deferred send must be remote-group distance; check the premise.
+    COLIBRI_CHECK_MSG(topology().coreToBank(from, b) == Distance::kRemoteGroup,
+                      "cross-shard send with intra-group distance: core "
+                          << from << " -> bank " << b);
     dispatch_->deferRequest(shardOfBank_[b], from, b, std::move(arrive));
     return;
   }

@@ -78,6 +78,12 @@ class System final : public CoreSink, public sim::ParallelDispatch::Hooks {
   /// (engineThreads > 1 and the topology has at least two groups).
   [[nodiscard]] bool parallelEngine() const { return dispatch_ != nullptr; }
 
+  /// Parallel-engine observability counters (--stats); all zero when the
+  /// sequential engine ran.
+  [[nodiscard]] sim::EngineCounters engineCounters() const {
+    return dispatch_ != nullptr ? dispatch_->counters() : sim::EngineCounters{};
+  }
+
   // --- CoreSink ----------------------------------------------------------
   void deliverResponse(CoreId c, const MemResponse& r) override;
   void deliverSuccessorUpdate(CoreId c, CoreId successor, sim::Addr a,

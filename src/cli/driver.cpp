@@ -4,6 +4,7 @@
 #include <exception>
 #include <numeric>
 #include <ostream>
+#include <thread>
 
 #include "exp/json.hpp"
 #include "exp/run.hpp"
@@ -12,6 +13,7 @@
 #include "litmus/harness.hpp"
 #include "report/table.hpp"
 #include "sim/check.hpp"
+#include "sim/framepool.hpp"
 #include "wgen/presets.hpp"
 
 namespace colibri::cli {
@@ -458,9 +460,6 @@ std::optional<std::string> buildConfig(const Options& opts,
       opts.banksPerTile == 0 || opts.wordsPerBank == 0) {
     return "geometry values must be >= 1";
   }
-  if (opts.engineThreads == 0) {
-    return "--engine-threads must be >= 1 (1 = sequential engine)";
-  }
   if (opts.cores % opts.coresPerTile != 0) {
     return "--cores (" + std::to_string(opts.cores) +
            ") must be a multiple of --cores-per-tile (" +
@@ -470,6 +469,14 @@ std::optional<std::string> buildConfig(const Options& opts,
     return "tile count (" + std::to_string(cfg.numTiles()) +
            ") must be a multiple of --tiles-per-group (" +
            std::to_string(opts.tilesPerGroup) + ")";
+  }
+  if (opts.engineThreads == 0) {
+    // Auto: one worker per topology group, capped by the machine. Resolved
+    // only after the geometry checks so numGroups() is meaningful. More
+    // workers than groups would idle (shards are groups), and results are
+    // bit-identical for any value, so this is purely a wall-clock choice.
+    const auto hw = std::max(1u, std::thread::hardware_concurrency());
+    cfg.engineThreads = std::max(1u, std::min(hw, cfg.numGroups()));
   }
   return std::nullopt;
 }
@@ -517,6 +524,14 @@ int runScenario(const Options& opts, std::ostream& out, std::ostream& err) {
   if (const auto geomError = buildConfig(opts, *adapter, cfg)) {
     err << "colibri-sim: " << *geomError << "\n";
     return 2;
+  }
+
+  // --engine-threads 0 resolved against this machine: surface the choice in
+  // the human-readable header only, so CSV/JSON stay machine-identical
+  // across hosts with different core counts.
+  if (opts.engineThreads == 0 && !opts.csv && !opts.json) {
+    out << "engine-threads: " << cfg.engineThreads << " (auto: min(hardware "
+        << "threads, " << cfg.numGroups() << " groups))\n";
   }
 
   // Friendly flag errors for knobs the workloads would otherwise reject
@@ -591,6 +606,19 @@ int runScenario(const Options& opts, std::ostream& out, std::ostream& err) {
       printWgen(opts, res, out);
     } else {
       printMatmul(opts, res, out);
+    }
+    if (opts.stats) {
+      // stderr keeps stdout byte-identical with and without --stats, so
+      // the golden corpus and the 1-vs-N-thread CI byte gate stay valid.
+      const auto& ec = res.primary().engineCounters;
+      err << "engine-stats: windows=" << ec.windows
+          << " barriers-taken=" << ec.barriersTaken
+          << " barriers-elided=" << ec.barriersElided
+          << " deferred-intents=" << ec.deferredIntents
+          << " idle-shard-skips=" << ec.idleShardSkips << "\n";
+      err << "frame-pool: pooled=" << sim::framepool::pooledFrameCount()
+          << " heap=" << sim::framepool::heapFrameCount()
+          << " arena-bytes=" << sim::framepool::arenaBytes() << "\n";
     }
     return res.allVerified ? 0 : 1;
   } catch (const sim::InvariantViolation& e) {

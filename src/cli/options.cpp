@@ -142,8 +142,12 @@ const std::map<std::string, Flag>& flagTable() {
       {"--engine-threads",
        numberFlag("deterministic parallel-engine workers per simulated "
                   "system; results are bit-identical for any value "
-                  "(default 1 = sequential)",
+                  "(default 1 = sequential, 0 = auto: min(hardware "
+                  "threads, topology groups))",
                   &Options::engineThreads)},
+      {"--stats", boolFlag("print parallel-engine and frame-pool counters "
+                           "to stderr after the run",
+                           &Options::stats)},
       {"--csv", boolFlag("emit CSV instead of an aligned table",
                          &Options::csv)},
       {"--json", boolFlag("emit the full result (per-rep + aggregate) as "

@@ -80,14 +80,19 @@ struct Options {
   /// exp::SweepRunner pool size; 0 = hardware_concurrency.
   std::uint32_t threads = 0;
   /// Deterministic parallel-engine worker threads inside each simulated
-  /// system; 1 = the classic sequential engine. Any value produces
-  /// bit-identical results (scheduling is order-preserving), so this only
-  /// changes wall-clock time.
+  /// system; 1 = the classic sequential engine, 0 = auto (resolved to
+  /// min(hardware threads, topology groups) once the geometry is known).
+  /// Any value produces bit-identical results (scheduling is
+  /// order-preserving), so this only changes wall-clock time.
   std::uint32_t engineThreads = 1;
 
   // --- Output / control ---------------------------------------------------
   bool csv = false;
   bool json = false;
+  /// Print parallel-engine counters (windows, barriers taken/elided,
+  /// deferred intents, idle-shard skips) and frame-pool usage to stderr
+  /// after the run. Machine outputs (csv/json/stdout) are untouched.
+  bool stats = false;
   bool listScenarios = false;
   bool help = false;
 };

@@ -197,6 +197,7 @@ RunResult runOne(const RunSpec& spec, std::uint32_t rep) {
   const WorkloadParams params = withWindow(spec.params, spec.window);
   arch::System sys(cfg);
   std::visit(Dispatcher{sys, out}, params);
+  out.engineCounters = sys.engineCounters();
 
   out.tileAreaKge = tileAreaFor(cfg);
   out.energy = model::chargeEnergy(out.rate.counters);

@@ -19,6 +19,7 @@
 
 #include "arch/config.hpp"
 #include "model/energy.hpp"
+#include "sim/types.hpp"
 #include "wgen/kernel.hpp"
 #include "workloads/harness.hpp"
 #include "workloads/hashtable.hpp"
@@ -101,6 +102,11 @@ struct RunResult {
   model::EnergyBreakdown energy{};
   double energyPerOpPj = 0.0;
   double averagePowerMw = 0.0;
+
+  /// Parallel-engine counters (all zero under the sequential engine).
+  /// Diagnostic only: never serialized to CSV/JSON, so machine outputs
+  /// stay identical across --engine-threads values.
+  sim::EngineCounters engineCounters{};
 };
 
 /// The workload name a spec's results report: the explicit override, or

@@ -22,6 +22,12 @@ struct TlsCtx {
 };
 thread_local TlsCtx g_tls;
 
+// Elision backlog cap: total exec records accumulated across consecutive
+// quiet windows before a sweep is forced anyway. Purely a memory bound —
+// the batched sweep produces the same commit stream wherever it lands —
+// sized so the retained logs stay a few MiB at worst.
+constexpr std::size_t kMergeBacklogCap = std::size_t{1} << 16;
+
 }  // namespace
 
 // A deferred cross-boundary message, recorded during a window and resolved
@@ -71,6 +77,7 @@ struct alignas(64) ParallelDispatch::Shard {
   std::exception_ptr error;
   std::uint32_t mergePos = 0;
   std::uint32_t index = 0;
+  std::uint64_t idleSkips = 0;  ///< windows skipped with no event due
 };
 
 ParallelDispatch::ParallelDispatch(Engine& engine, Hooks& hooks,
@@ -247,7 +254,9 @@ std::size_t ParallelDispatch::runUntil(Cycle horizon) {
     if (globalMin == m) {
       // A global event (stats snapshot, stop flag, driver callback) is due
       // this cycle: it may observe or mutate cross-shard state, so the
-      // whole cycle runs serially in exact seq order.
+      // whole cycle runs serially in exact seq order — which requires
+      // every pending event to carry its real counter seq first.
+      flushSweep();
       runSerialCycle(m);
       continue;
     }
@@ -258,6 +267,7 @@ std::size_t ParallelDispatch::runUntil(Cycle horizon) {
     }
     runWindow(m, end);
   }
+  flushSweep();
   if (now_ < lastWhen_) {
     now_ = lastWhen_;
   }
@@ -326,6 +336,7 @@ std::size_t ParallelDispatch::runWindow(Cycle start, Cycle end) {
   const std::uint64_t before = executedEvents();
   now_ = start;
   windowEnd_ = end;
+  ++counters_.windows;
   if (workerCount_ > 1) {
     ensureWorkers();
     done_.store(0, std::memory_order_relaxed);
@@ -343,8 +354,39 @@ std::size_t ParallelDispatch::runWindow(Cycle start, Cycle end) {
     runWorkerShards(0);
   }
   rethrowShardError();
+  // Adaptive barrier elision: a quiet window (no shard deferred a send)
+  // has nothing to resolve at the merge, so leave its exec logs in place
+  // and let a later sweep commit the whole batch. A dirty window sweeps at
+  // its own boundary, which keeps the invariant that every send in a batch
+  // was recorded during the batch's final window (so the arrive >= end
+  // check in commitExec stays valid). The backlog cap bounds the retained
+  // log memory, nothing else.
+  bool dirty = false;
+  std::size_t backlog = 0;
+  for (const auto& sp : shards_) {
+    dirty = dirty || !sp->sends.empty();
+    backlog += sp->execLog.size();
+  }
+  if (!dirty && backlog <= kMergeBacklogCap) {
+    ++counters_.barriersElided;
+    sweepPending_ = sweepPending_ || backlog > 0;
+    return static_cast<std::size_t>(executedEvents() - before);
+  }
+  ++counters_.barriersTaken;
+  sweepPending_ = false;
   sweep(end);
   return static_cast<std::size_t>(executedEvents() - before);
+}
+
+void ParallelDispatch::flushSweep() {
+  if (!sweepPending_) {
+    return;
+  }
+  // Only quiet windows elide, so the batch holds no deferred sends — this
+  // merge just commits exec logs: trace records, port-shadow replay, and
+  // real seqs for provisionally keyed children.
+  sweepPending_ = false;
+  sweep(windowEnd_);
 }
 
 void ParallelDispatch::ensureWorkers() {
@@ -382,6 +424,14 @@ void ParallelDispatch::runWorkerShards(std::uint32_t w) {
   // across windows, and the assignment is trivially deterministic.
   for (std::size_t i = w; i < shards_.size(); i += workerCount_) {
     Shard& s = *shards_[i];
+    if (s.queue.minWhen() >= windowEnd_) {
+      // Nothing due before the window's end (minWhen is kCycleNever when
+      // the queue is empty): skip the context setup and batch scan. The
+      // queue state at a boundary is the same for every worker count, so
+      // the skip — and its counter — are deterministic.
+      ++s.idleSkips;
+      continue;
+    }
     try {
       runShardWindow(s, windowEnd_);
     } catch (...) {
@@ -443,8 +493,11 @@ std::uint64_t ParallelDispatch::resolvedKey(const Shard& s,
 void ParallelDispatch::sweep(Cycle end) {
   // P-way merge of the per-shard exec logs by resolved (when, seq): the
   // commit order IS the order the sequential engine would have dispatched
-  // these events in. Shard counts are small (<= groups), so a linear scan
-  // over the stream heads beats a heap.
+  // these events in. The logs may span several windows (barrier elision);
+  // per shard they are still in execution — hence (when, key) — order, so
+  // the merge is oblivious to where the window boundaries fell. Shard
+  // counts are small (<= groups), so a linear scan over the stream heads
+  // beats a heap.
   for (const auto& sp : shards_) {
     sp->mergePos = 0;
   }
@@ -472,6 +525,7 @@ void ParallelDispatch::sweep(Cycle end) {
     ++best->mergePos;
   }
   for (const auto& sp : shards_) {
+    counters_.deferredIntents += sp->sends.size();
     sp->execLog.clear();
     sp->children.clear();
     sp->sends.clear();
@@ -536,8 +590,17 @@ std::uint64_t ParallelDispatch::executedEvents() const {
   return n;
 }
 
+EngineCounters ParallelDispatch::counters() const {
+  EngineCounters c = counters_;
+  for (const auto& sp : shards_) {
+    c.idleShardSkips += sp->idleSkips;
+  }
+  return c;
+}
+
 void ParallelDispatch::clearAll() noexcept {
   global_.clear();
+  sweepPending_ = false;
   for (const auto& sp : shards_) {
     sp->queue.clear();
     sp->execLog.clear();

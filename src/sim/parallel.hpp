@@ -22,6 +22,19 @@
 // same global sequence numbers the sequential engine's counter would have
 // handed out, re-keying still-pending events in place (EventQueue::rekey)
 // and inserting cross-shard deliveries in seq order (insertSorted).
+//
+// Barrier elision: the per-window worker synchronization is unavoidable
+// (a shard may only run ahead once its neighbours are known not to have
+// sent it anything), but the serial merge is not — a *quiet* window, one
+// in which no shard recorded a deferred send, has nothing to resolve, so
+// its exec logs are left in place and the merge is batched into the next
+// dirty window's sweep (or the next serial point). The batched sweep is
+// exactly the per-window sweep run over several windows' logs at once:
+// windows cover disjoint, increasing time ranges, child indices are
+// absolute into never-mid-batch-cleared vectors, and every deferred send
+// belongs to the batch's final (dirty) window, so the merge order and the
+// seq-counter stream are unchanged. Idle shards — no event due before the
+// window's end — are skipped entirely without touching their state.
 #pragma once
 
 #include <atomic>
@@ -91,6 +104,10 @@ class ParallelDispatch {
   [[nodiscard]] std::size_t pendingEvents() const;
   [[nodiscard]] std::uint64_t executedEvents() const;
   void setTrace(std::vector<DispatchRecord>* trace) { trace_ = trace; }
+  /// Observability counters (surfaced by --stats). Window boundaries and
+  /// queue states are identical for every worker count, so these are
+  /// deterministic: a function of config and workload only.
+  [[nodiscard]] EngineCounters counters() const;
 
   // --- Scheduling entry points -------------------------------------------
   /// Engine::scheduleAt lands here: routes to the current shard (worker or
@@ -156,6 +173,11 @@ class ParallelDispatch {
   std::size_t runWindow(Cycle start, Cycle end);
   std::size_t runSerialCycle(Cycle t);
   void sweep(Cycle end);
+  /// Run the batched sweep deferred by elided (quiet) windows, if any.
+  /// Must be called before any code that assumes every pending event
+  /// carries a real counter seq (serial cycles, live scheduling, return
+  /// from runUntil).
+  void flushSweep();
   void commitExec(Shard& s, const ExecRecord& e);
   [[nodiscard]] std::uint64_t resolvedKey(const Shard& s,
                                           const ExecRecord& e) const;
@@ -171,6 +193,8 @@ class ParallelDispatch {
   Cycle lastWhen_ = 0;  ///< when of the latest executed event
   Cycle windowEnd_ = 0;
   std::uint64_t serialExecuted_ = 0;
+  EngineCounters counters_;   ///< idleShardSkips lives in the shards
+  bool sweepPending_ = false; ///< elided windows left unmerged exec logs
   std::vector<DispatchRecord>* trace_ = nullptr;
 
   // Worker pool: workers wait for epoch_ to advance, run their shards up

@@ -74,7 +74,15 @@ sim::Co<CasResult> compareAndSwap(Core& core, RmwFlavor flavor, Addr a,
     while (true) {
       const auto lr = co_await core.lr(a);
       if (lr.value != expected) {
-        // RISC-V allows abandoning an LR without an SC.
+        // RISC-V allows abandoning an LR without an SC, but bank-side
+        // reservation slots (lrsc_single) do not: a granted LR holds the
+        // bank's only slot, and a caller that walks away for good — the
+        // deque owner losing its last-element race, say — strands it,
+        // deadlocking every later SC to that address. Close the pair by
+        // storing the observed value back: our own SC frees the slot with
+        // a no-op write, and if the slot was never ours it simply fails.
+        // (The wait flavors below yield their queue the same way.)
+        (void)co_await core.sc(a, lr.value);
         co_return CasResult{lr.value, false};
       }
       co_await core.delay(kRmwComputeCycles);

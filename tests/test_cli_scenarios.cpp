@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 #include <set>
 #include <sstream>
 #include <string>
@@ -109,6 +111,80 @@ TEST(CliOptions, MissingAndMalformedValuesFail) {
   const auto malformed = parseArgs({"--cores", "many"});
   ASSERT_FALSE(malformed.ok());
   EXPECT_NE(malformed.error->find("many"), std::string::npos);
+}
+
+TEST(CliDriver, NegativeAndMalformedEngineThreadsAreUsableErrors) {
+  // --engine-threads parses into an unsigned count; "-4" must surface as
+  // an invalid-value error, not wrap around to four billion workers.
+  for (const char* bad : {"-4", "abc", "2x"}) {
+    std::ostringstream out, err;
+    EXPECT_EQ(runMain({"--engine-threads", bad}, out, err), 2) << bad;
+    EXPECT_NE(err.str().find("invalid value"), std::string::npos)
+        << bad << ": " << err.str();
+    EXPECT_NE(err.str().find("--engine-threads"), std::string::npos)
+        << bad << ": " << err.str();
+  }
+}
+
+TEST(CliDriver, EngineThreadsAutoPrintsResolutionInTableModeOnly) {
+  const std::vector<std::string> base = {
+      "--workload", "histogram", "--cores",   "64",  "--tiles-per-group",
+      "4",          "--warmup",  "200",       "--measure", "1000",
+      "--engine-threads", "0"};
+  {
+    std::ostringstream out, err;
+    ASSERT_EQ(runMain(base, out, err), 0) << err.str();
+    EXPECT_NE(out.str().find("(auto"), std::string::npos)
+        << "table mode must surface the resolved thread count: "
+        << out.str();
+  }
+  // Machine outputs must stay host-independent: no resolved-count line.
+  for (const char* flag : {"--csv", "--json"}) {
+    auto args = base;
+    args.emplace_back(flag);
+    std::ostringstream out, err;
+    ASSERT_EQ(runMain(args, out, err), 0) << err.str();
+    EXPECT_EQ(out.str().find("auto"), std::string::npos) << flag;
+    EXPECT_EQ(out.str().find("engine"), std::string::npos) << flag;
+  }
+}
+
+TEST(CliDriver, StatsFlagPrintsCountersToStderrOnly) {
+  auto run = [](bool stats, std::string& outStr, std::string& errStr) {
+    std::vector<std::string> args = {
+        "--workload", "histogram", "--cores",   "64",  "--tiles-per-group",
+        "4",          "--warmup",  "200",       "--measure", "1000",
+        "--engine-threads", "4"};
+    if (stats) {
+      args.emplace_back("--stats");
+    }
+    std::ostringstream out, err;
+    const int rc = runMain(args, out, err);
+    outStr = out.str();
+    errStr = err.str();
+    return rc;
+  };
+  std::string quietOut, quietErr, statsOut, statsErr;
+  ASSERT_EQ(run(false, quietOut, quietErr), 0) << quietErr;
+  ASSERT_EQ(run(true, statsOut, statsErr), 0) << statsErr;
+  // stdout is byte-identical with and without --stats (golden-corpus and
+  // CI byte gates depend on this).
+  EXPECT_EQ(statsOut, quietOut);
+  EXPECT_NE(statsErr.find("engine-stats:"), std::string::npos) << statsErr;
+  EXPECT_NE(statsErr.find("frame-pool:"), std::string::npos) << statsErr;
+  // The printed counters obey the barrier invariant: every window either
+  // took its barrier merge or elided it.
+  auto grab = [&statsErr](const char* key) {
+    const auto pos = statsErr.find(key);
+    EXPECT_NE(pos, std::string::npos) << key;
+    return std::strtoull(statsErr.c_str() + pos + std::strlen(key), nullptr,
+                         10);
+  };
+  const auto windows = grab("windows=");
+  const auto taken = grab("barriers-taken=");
+  const auto elided = grab("barriers-elided=");
+  EXPECT_GT(windows, 0u);
+  EXPECT_EQ(taken + elided, windows);
 }
 
 TEST(CliDriver, UnknownFlagExitsNonzeroViaMain) {

@@ -45,6 +45,13 @@ sim::Task incrementer(System& sys, Core& core, sim::Addr a, int iters,
   }
 }
 
+// Pure compute, no memory traffic: every lookahead window stays quiet.
+sim::Task pureCompute(Core& core) {
+  for (int i = 0; i < 50; ++i) {
+    co_await core.delay(7);
+  }
+}
+
 struct TracedRun {
   std::vector<sim::DispatchRecord> trace;
   std::uint64_t executed = 0;
@@ -138,6 +145,120 @@ TEST(ParallelEngine, DispatchTraceMatchesSequentialAt1024Cores) {
   cfg.engineThreads = 8;
   const auto par = runTraced(cfg, sync::RmwFlavor::kAmo, 6);
   expectSameTrace(seq, par, "1024 cores x threads=8");
+}
+
+// The lookahead window is the *cross-shard* minimum latency, not the
+// global one: intra-group traffic never leaves its shard, so latSameGroup
+// must not bound the window. These configs make the distinction matter —
+// the widened window is only correct if same-group sends really execute
+// inline and only remote-group sends defer.
+TEST(ParallelEngine, DispatchTraceMatchesSequentialWithAsymmetricLatency) {
+  struct Case {
+    const char* label;
+    std::uint32_t latSameGroup;
+    std::uint32_t latRemoteGroup;
+  };
+  for (const Case& kase : {
+           // Same-group hops slower than remote ones: the old
+           // min(same, remote) window would have been wrongly *tight*;
+           // the new one must still be exact, not just safe.
+           Case{"sameGroup>remoteGroup", 7, 5},
+           // Minimum-width window: every window boundary is adjacent to
+           // a potential cross-shard arrival.
+           Case{"remoteGroup=1", 3, 1},
+       }) {
+    auto cfg = eightGroups(AdapterKind::kLrscSingle, 1);
+    cfg.latSameGroup = kase.latSameGroup;
+    cfg.latRemoteGroup = kase.latRemoteGroup;
+    const auto seq = runTraced(cfg, sync::RmwFlavor::kLrsc, 15);
+    ASSERT_GT(seq.trace.size(), 1000u) << kase.label;
+    EXPECT_EQ(seq.finalValue, 64u * 15u) << kase.label;
+    for (const std::uint32_t threads : {2u, 8u}) {
+      cfg.engineThreads = threads;
+      const auto par = runTraced(cfg, sync::RmwFlavor::kLrsc, 15);
+      expectSameTrace(seq, par, std::string(kase.label) + " x threads=" +
+                                    std::to_string(threads));
+    }
+  }
+}
+
+// The engine's own bookkeeping: every window either merges at its barrier
+// or elides it — never both, never neither — and cross-shard traffic is
+// what gets deferred.
+TEST(ParallelEngine, CountersSatisfyBarrierInvariant) {
+  // Contended cross-group run: deferred intents must appear.
+  {
+    auto cfg = eightGroups(AdapterKind::kAmoOnly, 4);
+    System sys(cfg);
+    const auto a = sys.allocator().allocGlobal(1);
+    for (sim::CoreId c = 0; c < cfg.numCores; ++c) {
+      sys.spawn(c, incrementer(sys, sys.core(c), a, 10,
+                               sync::RmwFlavor::kAmo));
+    }
+    sys.run();
+    sys.rethrowFailures();
+    const auto ec = sys.engineCounters();
+    EXPECT_GT(ec.windows, 0u);
+    EXPECT_EQ(ec.barriersTaken + ec.barriersElided, ec.windows);
+    EXPECT_GT(ec.deferredIntents, 0u)
+        << "a global hot word must cross shard boundaries";
+  }
+  // Quiet run (pure compute, no memory traffic): every window is elidable.
+  {
+    auto cfg = eightGroups(AdapterKind::kAmoOnly, 4);
+    System sys(cfg);
+    for (sim::CoreId c = 0; c < cfg.numCores; ++c) {
+      sys.spawn(c, pureCompute(sys.core(c)));
+    }
+    sys.run();
+    sys.rethrowFailures();
+    const auto ec = sys.engineCounters();
+    EXPECT_EQ(ec.barriersTaken + ec.barriersElided, ec.windows);
+    EXPECT_GT(ec.barriersElided, 0u)
+        << "compute-only windows must skip the serial merge";
+    EXPECT_EQ(ec.deferredIntents, 0u);
+  }
+  // Sequential engine: counters stay zero (nothing to count).
+  {
+    System sys(eightGroups(AdapterKind::kAmoOnly, 1));
+    ASSERT_FALSE(sys.parallelEngine());
+    const auto ec = sys.engineCounters();
+    EXPECT_EQ(ec.windows, 0u);
+    EXPECT_EQ(ec.barriersTaken, 0u);
+  }
+}
+
+// The 4k-core acceptance case: 4096 cores / 16 groups completes under the
+// sparse per-endpoint clamp, whose footprint is O(cores + banks) — the
+// dense per-(core, bank) matrices this replaced would need over 1 GiB at
+// this geometry and are asserted unaffordable, not silently skipped.
+TEST(ParallelEngine, FourKCoresRunSparseClampWithinMemoryBound) {
+  SystemConfig cfg;
+  cfg.numCores = 4096;
+  cfg.coresPerTile = 4;
+  cfg.tilesPerGroup = 64;  // 1024 tiles -> 16 groups
+  cfg.banksPerTile = 16;   // 16384 banks
+  cfg.wordsPerBank = 64;
+  cfg.adapter = AdapterKind::kAmoOnly;
+  cfg.engineThreads = 8;
+  ASSERT_EQ(cfg.numGroups(), 16u);
+  // Dense clamp state would be 2 * cores * banks * 8 B = 1 GiB.
+  EXPECT_GE(Network::denseClampBytes(cfg), std::size_t{512} << 20);
+  System sys(cfg);
+  ASSERT_TRUE(sys.parallelEngine());
+  // Sparse clamp state: 2 * banks * 3 classes * 8 B, well under 1 MiB.
+  EXPECT_LE(sys.network().clampBytes(), std::size_t{1} << 20);
+  const auto a = sys.allocator().allocGlobal(1);
+  for (sim::CoreId c = 0; c < cfg.numCores; ++c) {
+    sys.spawn(c, incrementer(sys, sys.core(c), a, 2,
+                             sync::RmwFlavor::kAmo));
+  }
+  sys.run();
+  sys.rethrowFailures();
+  EXPECT_TRUE(sys.allTasksDone());
+  EXPECT_EQ(sys.peek(a), 4096u * 2u);
+  const auto ec = sys.engineCounters();
+  EXPECT_EQ(ec.barriersTaken + ec.barriersElided, ec.windows);
 }
 
 // Global System::at events run in serial cycles between windows; their
