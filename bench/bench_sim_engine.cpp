@@ -8,6 +8,7 @@
 
 #include "arch/system.hpp"
 #include "exp/run.hpp"
+#include "obs/recorder.hpp"
 #include "sim/engine.hpp"
 #include "sim/event.hpp"
 #include "sim/random.hpp"
@@ -165,6 +166,49 @@ void BM_EndToEndAtomicOp(benchmark::State& state) {
                           kIters);
 }
 BENCHMARK(BM_EndToEndAtomicOp)->Unit(benchmark::kMillisecond);
+
+void BM_EndToEndObsRecorder(benchmark::State& state) {
+  // Observability overhead contract: the same 256-core Zipf-hot run with
+  // no recorder (arg 0) and with the full sink set attached — interval
+  // sampling plus the span tracer (arg 1). The ratio between the two rows
+  // is the simulator-side cost of observing; items/s counts completed
+  // window ops, which are identical in both rows.
+  const bool observed = state.range(0) != 0;
+  const auto* preset = wgen::findPreset("zipf_hot");
+  if (preset == nullptr) {
+    state.SkipWithError("zipf_hot preset missing");
+    return;
+  }
+  exp::RunSpec spec;
+  spec.label = observed ? "zipf_hot_obs" : "zipf_hot_base";
+  spec.config = arch::SystemConfig{};  // paper geometry: 256 cores
+  spec.config.adapter = arch::AdapterKind::kColibri;
+  wgen::WgenParams params;
+  params.kernel = preset->spec;
+  spec.params = params;
+  spec.window = workloads::MeasureWindow{500, 2000};
+  std::uint64_t ops = 0;
+  for (auto _ : state) {
+    obs::Recorder::Config rc;
+    rc.sampleInterval = 250;
+    rc.traceEnabled = true;
+    obs::Recorder recorder(rc);  // one Recorder records exactly one run
+    spec.config.recorder = observed ? &recorder : nullptr;
+    const auto result = exp::runOne(spec);
+    ops = result.rate.opsInWindow;
+    benchmark::DoNotOptimize(ops);
+  }
+  if (ops == 0) {
+    state.SkipWithError("no ops completed in the window");
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ops));
+}
+BENCHMARK(BM_EndToEndObsRecorder)
+    ->ArgName("observed")
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_Parallel1kZipfHot(benchmark::State& state) {
   // The acceptance-scale run: 1024 cores (16 topology groups) on the

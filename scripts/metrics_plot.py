@@ -1,0 +1,319 @@
+#!/usr/bin/env python3
+"""Render colibri observability output as ASCII sparkline tables.
+
+Reads any of the three sink formats the simulator emits and prints a
+terminal-friendly summary — no matplotlib, no dependencies beyond the
+standard library:
+
+  metrics CSV   --metrics-csv output: `cycle,<metric>,...` rows of
+                cumulative simulated-cycle samples. One sparkline per
+                metric, plus min/max/last columns.
+  exp JSON      colibri-exp-v2 documents carrying a "timeseries" block
+                (produced by --json together with --metrics-csv). Same
+                table, read from the samples matrix; histogram blocks are
+                rendered as bucket bars.
+  trace JSON    Chrome trace_event files from --trace: per-name event
+                counts and total/mean span durations.
+
+The input kind is sniffed from the content, not the file name. Counters
+in colibri sinks are cumulative; pass --rate to plot first differences
+per interval instead (usually the more readable view).
+
+Exit status: 0 = ok, 1 = malformed input, 2 = usage error.
+
+Usage:
+  scripts/metrics_plot.py run.csv
+  scripts/metrics_plot.py results.json --rate --width 60
+  scripts/metrics_plot.py trace.json
+  scripts/metrics_plot.py --self-test    # exercises parsing + rendering
+"""
+
+import argparse
+import json
+import sys
+
+RAMP = " .:-=+*#%@"
+
+
+def load_text(path):
+    try:
+        with open(path) as f:
+            return f.read()
+    except OSError as e:
+        print(f"metrics_plot: cannot read {path}: {e}", file=sys.stderr)
+        return None
+
+
+def sparkline(values, width):
+    """Downsample `values` to `width` buckets and map onto the ASCII ramp."""
+    if not values:
+        return ""
+    if len(values) > width:
+        # Bucket means: len(values) -> width, deterministic.
+        buckets = []
+        for b in range(width):
+            lo = b * len(values) // width
+            hi = max(lo + 1, (b + 1) * len(values) // width)
+            chunk = values[lo:hi]
+            buckets.append(sum(chunk) / len(chunk))
+        values = buckets
+    vmin = min(values)
+    vmax = max(values)
+    span = vmax - vmin
+    if span == 0:
+        return RAMP[0] * len(values)
+    out = []
+    for v in values:
+        idx = int((v - vmin) / span * (len(RAMP) - 1))
+        out.append(RAMP[idx])
+    return "".join(out)
+
+
+def fmt(v):
+    if v == int(v) and abs(v) < 2**53:
+        return str(int(v))
+    return f"{v:.6g}"
+
+
+def diffs(values):
+    return [b - a for a, b in zip(values, values[1:])]
+
+
+def render_series(names, columns, width, rate, out=sys.stdout):
+    """Print one sparkline row per metric from parallel value columns."""
+    namew = max((len(n) for n in names), default=0)
+    header = f"{'metric':<{namew}}  {'spark':<{width}}  {'min':>12} {'max':>12} {'last':>12}"
+    print(header, file=out)
+    print("-" * len(header), file=out)
+    for name, values in zip(names, columns):
+        series = diffs(values) if rate else values
+        if not series:
+            continue
+        print(
+            f"{name:<{namew}}  {sparkline(series, width):<{width}}  "
+            f"{fmt(min(series)):>12} {fmt(max(series)):>12} {fmt(series[-1]):>12}",
+            file=out,
+        )
+
+
+def render_histogram(name, buckets, width, out=sys.stdout):
+    total = sum(buckets)
+    if total == 0:
+        return
+    print(f"\n{name} (log2 buckets, {total} samples)", file=out)
+    peak = max(buckets)
+    for i, n in enumerate(buckets):
+        if n == 0:
+            continue
+        if i == 0:
+            label = "0"
+        elif i == len(buckets) - 1:
+            label = f"{2 ** (i - 1)}+"
+        else:
+            label = f"{2 ** (i - 1)}-{2 ** i - 1}"
+        bar = "#" * max(1, int(n / peak * width))
+        print(f"  {label:>14}  {bar} {n}", file=out)
+
+
+def plot_csv(text, width, rate, out=sys.stdout):
+    lines = [ln for ln in text.splitlines() if ln.strip()]
+    if not lines:
+        print("metrics_plot: empty CSV", file=sys.stderr)
+        return 1
+    header = lines[0].split(",")
+    if header[0] != "cycle":
+        print("metrics_plot: not a metrics CSV (no leading 'cycle' column)",
+              file=sys.stderr)
+        return 1
+    names = header[1:]
+    columns = [[] for _ in names]
+    cycles = []
+    for ln in lines[1:]:
+        cells = ln.split(",")
+        if len(cells) != len(header):
+            print(f"metrics_plot: ragged CSV row: {ln!r}", file=sys.stderr)
+            return 1
+        cycles.append(float(cells[0]))
+        for col, cell in zip(columns, cells[1:]):
+            col.append(float(cell))
+    print(f"{len(cycles)} samples, cycles {fmt(cycles[0])}..{fmt(cycles[-1])}"
+          f"{' (rates per interval)' if rate else ' (cumulative)'}", file=out)
+    render_series(names, columns, width, rate, out)
+    return 0
+
+
+def plot_timeseries(doc, width, rate, out=sys.stdout):
+    ts = doc.get("timeseries")
+    if ts is None:
+        print("metrics_plot: exp document has no 'timeseries' block "
+              "(run with --metrics-csv to enable sampling)", file=sys.stderr)
+        return 1
+    names = ts.get("metrics", [])
+    samples = ts.get("samples", [])
+    cycles = [row[0] for row in samples]
+    columns = [[row[i + 1] for row in samples] for i in range(len(names))]
+    print(f"{len(cycles)} samples, interval {ts.get('interval', '?')}"
+          f"{' (rates per interval)' if rate else ' (cumulative)'}", file=out)
+    render_series(names, columns, width, rate, out)
+    for hist in ts.get("histograms", []):
+        render_histogram(hist.get("name", "?"), hist.get("buckets", []),
+                         width, out)
+    return 0
+
+
+def plot_trace(doc, width, out=sys.stdout):
+    events = doc.get("traceEvents", [])
+    spans = {}  # name -> [count, total_dur]
+    instants = {}
+    for ev in events:
+        name = ev.get("name", "?")
+        ph = ev.get("ph")
+        if ph == "X":
+            entry = spans.setdefault(name, [0, 0])
+            entry[0] += 1
+            entry[1] += ev.get("dur", 0)
+        elif ph == "i":
+            instants[name] = instants.get(name, 0) + 1
+    print(f"{len(events)} trace events "
+          f"({doc.get('otherData', {}).get('clock', 'unknown clock')})",
+          file=out)
+    if spans:
+        namew = max(len(n) for n in spans)
+        print(f"{'span':<{namew}}  {'count':>10} {'total dur':>14} {'mean':>10}",
+              file=out)
+        peak = max(e[1] for e in spans.values())
+        for name in sorted(spans):
+            count, dur = spans[name]
+            bar = "#" * max(1, int(dur / peak * width)) if peak else ""
+            print(f"{name:<{namew}}  {count:>10} {dur:>14} "
+                  f"{dur / count:>10.1f}  {bar}", file=out)
+    for name in sorted(instants):
+        print(f"instant {name}: {instants[name]}", file=out)
+    return 0
+
+
+def run(path, width, rate, out=sys.stdout):
+    text = load_text(path)
+    if text is None:
+        return 1
+    stripped = text.lstrip()
+    if stripped.startswith("{"):
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as e:
+            print(f"metrics_plot: malformed JSON in {path}: {e}",
+                  file=sys.stderr)
+            return 1
+        if "traceEvents" in doc:
+            return plot_trace(doc, width, out)
+        if str(doc.get("schema", "")).startswith("colibri-exp"):
+            return plot_timeseries(doc, width, rate, out)
+        print(f"metrics_plot: unrecognized JSON document in {path}",
+              file=sys.stderr)
+        return 1
+    return plot_csv(text, width, rate, out)
+
+
+def self_test():
+    import io
+
+    failures = []
+
+    def check(name, cond):
+        if not cond:
+            failures.append(name)
+
+    # Sparkline mapping: constant, ramp, downsampling.
+    check("flat", sparkline([5, 5, 5], 10) == "   ")
+    ramp = sparkline(list(range(10)), 10)
+    check("ramp-ends", ramp[0] == RAMP[0] and ramp[-1] == RAMP[-1])
+    check("downsample", len(sparkline(list(range(100)), 8)) == 8)
+    check("diffs", diffs([1, 4, 9]) == [3, 5])
+
+    # CSV round trip.
+    csv_text = "cycle,a,b\n0,0,1\n100,5,1\n200,20,1\n"
+    buf = io.StringIO()
+    check("csv-ok", plot_csv(csv_text, 20, False, buf) == 0)
+    rendered = buf.getvalue()
+    check("csv-names", "a" in rendered and "20" in rendered)
+    check("csv-bad", plot_csv("nope,x\n1,2\n", 20, False, io.StringIO()) == 1)
+    buf = io.StringIO()
+    check("csv-rate", plot_csv(csv_text, 20, True, buf) == 0)
+    check("csv-rate-last", "15" in buf.getvalue())
+
+    # Exp timeseries block (the shape exp::writeJson emits).
+    doc = {
+        "schema": "colibri-exp-v2",
+        "runs": [],
+        "timeseries": {
+            "interval": 100,
+            "metrics": ["x", "y"],
+            "samples": [[0, 0, 1.5], [100, 3, 2.5]],
+            "histograms": [{"name": "lat", "buckets": [0, 2, 1] + [0] * 17}],
+        },
+    }
+    buf = io.StringIO()
+    check("ts-ok", plot_timeseries(doc, 20, False, buf) == 0)
+    check("ts-hist", "lat" in buf.getvalue() and "1-1" in buf.getvalue())
+    check("ts-missing",
+          plot_timeseries({"schema": "colibri-exp-v2"}, 20, False,
+                          io.StringIO()) == 1)
+
+    # Chrome trace summary.
+    trace = {
+        "otherData": {"clock": "simulated-cycles"},
+        "traceEvents": [
+            {"name": "load", "ph": "X", "pid": 1, "tid": 0, "ts": 0,
+             "dur": 10},
+            {"name": "load", "ph": "X", "pid": 1, "tid": 1, "ts": 5,
+             "dur": 20},
+            {"name": "store", "ph": "i", "pid": 1, "tid": 0, "ts": 3,
+             "s": "t"},
+        ],
+    }
+    buf = io.StringIO()
+    check("trace-ok", plot_trace(trace, 20, buf) == 0)
+    out = buf.getvalue()
+    check("trace-spans", "load" in out and "30" in out)
+    check("trace-instants", "instant store: 1" in out)
+
+    if failures:
+        print(f"metrics_plot self-test FAILED: {failures}", file=sys.stderr)
+        return 1
+    print("metrics_plot self-test passed")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument("file", nargs="?", help="metrics CSV, exp JSON, or "
+                        "Chrome trace JSON")
+    parser.add_argument("--width", type=int, default=48,
+                        help="sparkline width in characters (default 48)")
+    parser.add_argument("--rate", action="store_true",
+                        help="plot per-interval differences instead of "
+                        "cumulative values")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in self test and exit")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+    if args.file is None:
+        parser.print_usage(sys.stderr)
+        return 2
+    if args.width < 1:
+        print("metrics_plot: --width must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        return run(args.file, args.width, args.rate)
+    except BrokenPipeError:
+        # Piping into `head` is a normal way to use this; exit quietly.
+        sys.stderr.close()
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

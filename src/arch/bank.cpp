@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/hooks.hpp"
 #include "sim/check.hpp"
 #include "sim/event.hpp"
 
@@ -43,6 +44,10 @@ void Bank::receive(const MemRequest& req) {
     }
   }
   const sim::Cycle grant = port_.acquire(at);
+  if (hooks_ != nullptr && hooks_->tracer != nullptr &&
+      expectsResponse(req.kind)) {
+    hooks_->tracer->onBankArrive(req.core, id_, at, grant);
+  }
   auto serve = [this, req] {
     ++stats_.requests;
     adapter_->handle(req);
@@ -75,6 +80,9 @@ void Bank::respond(CoreId c, const MemResponse& r) {
   // arrival cycle is fully determined at send time; the sink routes the
   // event to the core's execution domain.
   const sim::Cycle arriveAt = net_.routeResponse(id_, c, engine_.now());
+  if (hooks_ != nullptr && hooks_->tracer != nullptr) {
+    hooks_->tracer->onRespond(c, engine_.now());
+  }
   auto arrive = [this, c, r] { sink_.deliverResponse(c, r); };
   static_assert(sim::InlineEvent::fitsInline<decltype(arrive)>,
                 "response closure must fit the inline event buffer");

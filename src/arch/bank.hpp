@@ -20,6 +20,10 @@
 #include "sim/parallel.hpp"
 #include "sim/resource.hpp"
 
+namespace colibri::obs {
+struct SimHooks;
+}
+
 namespace colibri::arch {
 
 /// Delivery interface back to the core side (implemented by System).
@@ -80,6 +84,9 @@ class Bank final : public atomics::BankContext {
     shadow_ = shadow;
   }
 
+  /// Attach the observability hook bundle (nullptr = off).
+  void setObsHooks(const obs::SimHooks* hooks) { hooks_ = hooks; }
+
   [[nodiscard]] atomics::AtomicAdapter& adapter() { return *adapter_; }
   [[nodiscard]] const atomics::AtomicAdapter& adapter() const {
     return *adapter_;
@@ -97,6 +104,7 @@ class Bank final : public atomics::BankContext {
   BankId id_;
   sim::ThroughputResource port_;
   sim::ParallelDispatch::PortShadow* shadow_ = nullptr;
+  const obs::SimHooks* hooks_ = nullptr;
   std::vector<Word> words_;
   std::unique_ptr<atomics::AtomicAdapter> adapter_;
   BankStats stats_;

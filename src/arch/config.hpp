@@ -12,6 +12,10 @@
 #include "sim/check.hpp"
 #include "sim/types.hpp"
 
+namespace colibri::obs {
+class Recorder;
+}
+
 namespace colibri::arch {
 
 /// Which atomic adapter sits in front of every bank.
@@ -82,6 +86,14 @@ struct SystemConfig {
 
   // --- Misc ----------------------------------------------------------------
   std::uint64_t seed = 0xC011B21;
+
+  // --- Observability --------------------------------------------------------
+  /// Optional recorder the System attaches to during construction (metric
+  /// registry + span tracer). Null (the default) keeps every hook compiled
+  /// to a single untaken branch. Not part of the simulated configuration:
+  /// never serialized, never hashed, and attaching one must not change any
+  /// simulated outcome.
+  obs::Recorder* recorder = nullptr;
 
   // --- Derived -------------------------------------------------------------
   [[nodiscard]] std::uint32_t numTiles() const {

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/hooks.hpp"
+#include "obs/recorder.hpp"
 #include "sim/check.hpp"
 #include "sim/event.hpp"
+#include "sim/framepool.hpp"
 #include "sim/resource.hpp"
 
 namespace colibri::arch {
@@ -42,8 +45,182 @@ System::System(const SystemConfig& cfg)
     }
   }
 
+  if (cfg_.recorder != nullptr) {
+    attachObservability();
+  }
+
   if (cfg_.engineThreads > 1) {
     enableParallelEngine();
+  }
+}
+
+void System::attachObservability() {
+  obs::Recorder* rec = cfg_.recorder;
+  rec->attachSystem();
+  obs::Registry& reg = rec->registry();
+  obsHooks_ = std::make_unique<obs::SimHooks>();
+  obsHooks_->registry = &reg;
+
+  // Hot-path counters; everything else is a gauge probe read only at
+  // serial sample points, so it costs nothing between samples.
+  obsHooks_->casRetries = reg.counter("sync.casRetries");
+  obsHooks_->rmwRetries = reg.counter("sync.rmwRetries");
+  obsHooks_->wgenVisits = reg.counter("wgen.phaseVisits");
+  obsHooks_->opLatency = reg.histogram("core.opLatency");
+
+  using MC = obs::MetricClass;
+  reg.gauge("engine.pendingEvents", [this] {
+    return static_cast<double>(engine_.pendingEvents());
+  });
+  reg.gauge("engine.executedEvents", [this] {
+    return static_cast<double>(engine_.executedEvents());
+  });
+  reg.gauge("core.issuedOps", [this] {
+    std::uint64_t n = 0;
+    for (const auto& c : cores_) {
+      n += c->stats().totalIssued();
+    }
+    return static_cast<double>(n);
+  });
+  reg.gauge("core.sleepCycles", [this] {
+    std::uint64_t n = 0;
+    for (const auto& c : cores_) {
+      n += c->stats().sleepCycles;
+    }
+    return static_cast<double>(n);
+  });
+  reg.gauge("core.stallCycles", [this] {
+    std::uint64_t n = 0;
+    for (const auto& c : cores_) {
+      n += c->stats().stallCycles;
+    }
+    return static_cast<double>(n);
+  });
+  reg.gauge("bank.requests", [this] {
+    std::uint64_t n = 0;
+    for (const auto& b : banks_) {
+      n += b->stats().requests;
+    }
+    return static_cast<double>(n);
+  });
+  reg.gauge("bank.backlogMax", [this] {
+    sim::Cycle mx = 0;
+    for (const auto& b : banks_) {
+      mx = std::max(mx, b->backlog());
+    }
+    return static_cast<double>(mx);
+  });
+  reg.gauge("bank.backlogMean", [this] {
+    double sum = 0;
+    for (const auto& b : banks_) {
+      sum += static_cast<double>(b->backlog());
+    }
+    return sum / static_cast<double>(banks_.size());
+  });
+  reg.gauge("net.msgsLocalTile", [this] {
+    return static_cast<double>(net_.stats().messagesByDistance[0]);
+  });
+  reg.gauge("net.msgsSameGroup", [this] {
+    return static_cast<double>(net_.stats().messagesByDistance[1]);
+  });
+  reg.gauge("net.msgsRemoteGroup", [this] {
+    return static_cast<double>(net_.stats().messagesByDistance[2]);
+  });
+  reg.gauge("net.queueingDelay", [this] {
+    return static_cast<double>(net_.stats().totalQueueingDelay);
+  });
+  reg.gauge("adapter.lrGrants", [this] {
+    std::uint64_t n = 0;
+    for (const auto& b : banks_) {
+      n += b->adapter().stats().lrGrants;
+    }
+    return static_cast<double>(n);
+  });
+  reg.gauge("adapter.lrFails", [this] {
+    std::uint64_t n = 0;
+    for (const auto& b : banks_) {
+      n += b->adapter().stats().lrFails;
+    }
+    return static_cast<double>(n);
+  });
+  reg.gauge("adapter.scSuccesses", [this] {
+    std::uint64_t n = 0;
+    for (const auto& b : banks_) {
+      n += b->adapter().stats().scSuccesses;
+    }
+    return static_cast<double>(n);
+  });
+  reg.gauge("adapter.scFailures", [this] {
+    std::uint64_t n = 0;
+    for (const auto& b : banks_) {
+      n += b->adapter().stats().scFailures;
+    }
+    return static_cast<double>(n);
+  });
+  reg.gauge("adapter.mwaitWakes", [this] {
+    std::uint64_t n = 0;
+    for (const auto& b : banks_) {
+      n += b->adapter().stats().mwaitWakes;
+    }
+    return static_cast<double>(n);
+  });
+  reg.gauge("adapter.wakeUpRequests", [this] {
+    std::uint64_t n = 0;
+    for (const auto& b : banks_) {
+      n += b->adapter().stats().wakeUpRequests;
+    }
+    return static_cast<double>(n);
+  });
+  // Coroutine-frame residency. The pooled/heap *split* depends on which OS
+  // thread allocated (workers fall back to the heap), so only the sum is
+  // deterministic across engine-thread counts.
+  reg.gauge("framepool.frames", [rec] {
+    return static_cast<double>(sim::framepool::pooledFrameCount() +
+                               sim::framepool::heapFrameCount()) -
+           static_cast<double>(rec->frameBaseline());
+  });
+  reg.gauge(
+      "engine.windows",
+      [this] { return static_cast<double>(engineCounters().windows); },
+      MC::kDiagnostic);
+  reg.gauge(
+      "engine.barriersTaken",
+      [this] { return static_cast<double>(engineCounters().barriersTaken); },
+      MC::kDiagnostic);
+  reg.gauge(
+      "engine.barriersElided",
+      [this] { return static_cast<double>(engineCounters().barriersElided); },
+      MC::kDiagnostic);
+  reg.gauge(
+      "engine.deferredIntents",
+      [this] { return static_cast<double>(engineCounters().deferredIntents); },
+      MC::kDiagnostic);
+  reg.gauge(
+      "engine.idleShardSkips",
+      [this] { return static_cast<double>(engineCounters().idleShardSkips); },
+      MC::kDiagnostic);
+  reg.gauge(
+      "framepool.pooledFrames",
+      [] { return static_cast<double>(sim::framepool::pooledFrameCount()); },
+      MC::kDiagnostic);
+  reg.gauge(
+      "framepool.heapFrames",
+      [] { return static_cast<double>(sim::framepool::heapFrameCount()); },
+      MC::kDiagnostic);
+  reg.gauge(
+      "framepool.arenaBytes",
+      [] { return static_cast<double>(sim::framepool::arenaBytes()); },
+      MC::kDiagnostic);
+
+  if (obs::Tracer* tr = rec->tracer()) {
+    tr->bind(cfg_.numCores, cfg_.numBanks());
+    obsHooks_->tracer = tr;
+  }
+  for (auto& b : banks_) {
+    b->setObsHooks(obsHooks_.get());
+  }
+  for (auto& c : cores_) {
+    c->hooks_ = obsHooks_.get();
   }
 }
 
@@ -75,11 +252,19 @@ void System::enableParallelEngine() {
     banks_[b]->setPortShadow(&portShadow_[b]);
   }
   net_.enableShardStats(groups);
+  if (obsHooks_ != nullptr) {
+    // One counter slot per shard, so worker adds never contend or race.
+    cfg_.recorder->registry().setShardSlots(groups);
+  }
   dispatch_ = std::make_unique<sim::ParallelDispatch>(
       engine_, *this, groups, std::min(cfg_.engineThreads, groups), lookahead);
 }
 
 System::~System() {
+  if (cfg_.recorder != nullptr) {
+    // The gauge probes capture `this`; drop them before anything dies.
+    cfg_.recorder->detachSystem();
+  }
   // Drop queued events first: they may capture awaiter state living inside
   // coroutine frames that the Core destructors are about to destroy.
   engine_.clear();

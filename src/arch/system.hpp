@@ -22,6 +22,10 @@
 #include "sim/parallel.hpp"
 #include "sim/task.hpp"
 
+namespace colibri::obs {
+struct SimHooks;
+}
+
 namespace colibri::arch {
 
 class System final : public CoreSink, public sim::ParallelDispatch::Hooks {
@@ -84,6 +88,11 @@ class System final : public CoreSink, public sim::ParallelDispatch::Hooks {
     return dispatch_ != nullptr ? dispatch_->counters() : sim::EngineCounters{};
   }
 
+  /// Null unless a Recorder was attached via SystemConfig::recorder.
+  [[nodiscard]] const obs::SimHooks* obsHooks() const {
+    return obsHooks_.get();
+  }
+
   // --- CoreSink ----------------------------------------------------------
   void deliverResponse(CoreId c, const MemResponse& r) override;
   void deliverSuccessorUpdate(CoreId c, CoreId successor, sim::Addr a,
@@ -96,6 +105,8 @@ class System final : public CoreSink, public sim::ParallelDispatch::Hooks {
 
  private:
   void enableParallelEngine();
+  /// Register metrics/probes and distribute hook pointers (recorder set).
+  void attachObservability();
 
   SystemConfig cfg_;
   sim::Engine engine_;
@@ -105,6 +116,9 @@ class System final : public CoreSink, public sim::ParallelDispatch::Hooks {
   std::vector<atomics::Qnode> qnodes_;
   std::vector<CoreHot> coreHot_;  // dense hot state, one slot per core
   std::vector<std::unique_ptr<Core>> cores_;
+  // Hook bundle handed to cores/banks/sync; owned here so those raw
+  // pointers stay valid for the System's whole lifetime.
+  std::unique_ptr<obs::SimHooks> obsHooks_;
   // Parallel-engine state: shard (= topology group) of each endpoint, the
   // per-bank port shadows replayed at barrier merges, and the dispatcher
   // itself. Declared last: its destructor detaches from the engine and

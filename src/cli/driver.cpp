@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <exception>
+#include <fstream>
 #include <numeric>
 #include <ostream>
 #include <thread>
 
 #include "exp/json.hpp"
+#include "obs/recorder.hpp"
 #include "exp/run.hpp"
 #include "exp/scenario.hpp"
 #include "exp/sweep.hpp"
@@ -376,6 +378,11 @@ int runLitmusMode(const Options& opts, std::ostream& out, std::ostream& err) {
     err << "colibri-sim: litmus mode has no --json output (use --csv)\n";
     return 2;
   }
+  if (!opts.metricsCsv.empty() || !opts.trace.empty() || opts.jsonEngine) {
+    err << "colibri-sim: litmus mode has no observability sinks "
+           "(--metrics-csv/--trace/--json-engine)\n";
+    return 2;
+  }
 
   std::vector<litmus::MatrixCase> cases;
   for (const auto& adapter : adapterSpecs) {
@@ -573,12 +580,45 @@ int runScenario(const Options& opts, std::ostream& out, std::ostream& err) {
     err << "colibri-sim: choose one of --csv and --json\n";
     return 2;
   }
+  const bool wantSampling = !opts.metricsCsv.empty();
+  const bool wantTrace = !opts.trace.empty();
+  if ((wantSampling || wantTrace) && opts.reps > 1) {
+    // Concurrent repetitions share process-wide state (the coroutine frame
+    // pool) that would bleed into sampled values; the byte-compared sinks
+    // observe exactly one run.
+    err << "colibri-sim: --metrics-csv/--trace require --reps 1\n";
+    return 2;
+  }
+  if (opts.traceSample == 0) {
+    err << "colibri-sim: --trace-sample must be >= 1\n";
+    return 2;
+  }
+  if (opts.jsonEngine && !opts.json) {
+    err << "colibri-sim: --json-engine requires --json\n";
+    return 2;
+  }
 
   auto spec = buildSpec(opts, *adapter, cfg);
   if (!spec) {
     err << "colibri-sim: workload '" << opts.workload
         << "' is registered but has no runner (internal error)\n";
     return 1;
+  }
+
+  // One recorder for the whole scenario. Attaching it (sinks or --stats)
+  // must not change any machine output: the sampler events are pure reads
+  // scheduled before the workload spawns, so stdout stays byte-identical
+  // to a run without it.
+  obs::Recorder::Config recCfg;
+  recCfg.sampleInterval =
+      wantSampling
+          ? (opts.metricsInterval > 0 ? opts.metricsInterval : 1000)
+          : 0;
+  recCfg.traceEnabled = wantTrace;
+  recCfg.traceEvery = opts.traceSample;
+  obs::Recorder recorder(recCfg);
+  if (wantSampling || wantTrace || opts.stats) {
+    spec->config.recorder = &recorder;
   }
 
   try {
@@ -588,7 +628,10 @@ int runScenario(const Options& opts, std::ostream& out, std::ostream& err) {
     const auto& res = results.front();
 
     if (opts.json) {
-      exp::writeJson(out, specs, results);
+      exp::JsonOptions jsonOpts;
+      jsonOpts.recorder = wantSampling ? &recorder : nullptr;
+      jsonOpts.engineBlock = opts.jsonEngine;
+      exp::writeJson(out, specs, results, jsonOpts);
     } else if (opts.workload == "histogram") {
       printHistogram(opts, specs.front(), res, out);
     } else if (opts.workload == "msqueue" ||
@@ -607,6 +650,24 @@ int runScenario(const Options& opts, std::ostream& out, std::ostream& err) {
     } else {
       printMatmul(opts, res, out);
     }
+    if (!opts.metricsCsv.empty()) {
+      std::ofstream f(opts.metricsCsv, std::ios::binary);
+      if (!f) {
+        err << "colibri-sim: cannot open --metrics-csv file '"
+            << opts.metricsCsv << "'\n";
+        return 1;
+      }
+      recorder.writeMetricsCsv(f);
+    }
+    if (!opts.trace.empty()) {
+      std::ofstream f(opts.trace, std::ios::binary);
+      if (!f) {
+        err << "colibri-sim: cannot open --trace file '" << opts.trace
+            << "'\n";
+        return 1;
+      }
+      recorder.writeChromeTrace(f);
+    }
     if (opts.stats) {
       // stderr keeps stdout byte-identical with and without --stats, so
       // the golden corpus and the 1-vs-N-thread CI byte gate stay valid.
@@ -619,6 +680,9 @@ int runScenario(const Options& opts, std::ostream& out, std::ostream& err) {
       err << "frame-pool: pooled=" << sim::framepool::pooledFrameCount()
           << " heap=" << sim::framepool::heapFrameCount()
           << " arena-bytes=" << sim::framepool::arenaBytes() << "\n";
+      // The registry view of the same run (rep 0): every metric,
+      // diagnostic ones included.
+      recorder.printStats(err);
     }
     return res.allVerified ? 0 : 1;
   } catch (const sim::InvariantViolation& e) {

@@ -148,6 +148,24 @@ const std::map<std::string, Flag>& flagTable() {
       {"--stats", boolFlag("print parallel-engine and frame-pool counters "
                            "to stderr after the run",
                            &Options::stats)},
+      {"--metrics-csv",
+       stringFlag("write interval metric samples (simulated-cycle "
+                  "time-series) to this CSV file; requires --reps 1",
+                  &Options::metricsCsv)},
+      {"--metrics-interval",
+       numberFlag("cycles between metric samples; 0 = default (1000)",
+                  &Options::metricsInterval)},
+      {"--trace",
+       stringFlag("write per-request lifecycle spans as Chrome trace_event "
+                  "JSON to this file; requires --reps 1",
+                  &Options::trace)},
+      {"--trace-sample",
+       numberFlag("trace every K-th op per core (default 1 = all)",
+                  &Options::traceSample)},
+      {"--json-engine",
+       boolFlag("add the per-rep \"engine\" block (parallel-engine "
+                "diagnostics, varies with --engine-threads) to --json",
+                &Options::jsonEngine)},
       {"--csv", boolFlag("emit CSV instead of an aligned table",
                          &Options::csv)},
       {"--json", boolFlag("emit the full result (per-rep + aggregate) as "

@@ -86,6 +86,23 @@ struct Options {
   /// order-preserving), so this only changes wall-clock time.
   std::uint32_t engineThreads = 1;
 
+  // --- Observability sinks -------------------------------------------------
+  /// Write interval metric samples (deterministic metrics only) as CSV to
+  /// this file. Requires --reps 1.
+  std::string metricsCsv;
+  /// Cycles between metric samples; 0 = default (1000) when a metrics
+  /// sink is active.
+  std::uint64_t metricsInterval = 0;
+  /// Write per-request lifecycle spans as Chrome trace_event JSON
+  /// (Perfetto-loadable) to this file. Requires --reps 1.
+  std::string trace;
+  /// Record every K-th op per core in the trace (deterministic sampling).
+  std::uint32_t traceSample = 1;
+  /// Add the per-rep "engine" block (parallel-engine diagnostics) to
+  /// --json output. Off by default: the values vary with --engine-threads
+  /// while default output must not.
+  bool jsonEngine = false;
+
   // --- Output / control ---------------------------------------------------
   bool csv = false;
   bool json = false;

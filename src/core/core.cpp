@@ -4,6 +4,7 @@
 
 #include "arch/system.hpp"
 #include "atomics/qnode.hpp"
+#include "obs/hooks.hpp"
 #include "sim/check.hpp"
 #include "sim/event.hpp"
 
@@ -36,6 +37,16 @@ void Core::issue(const MemRequest& req, std::coroutine_handle<> h,
   const Cycle depart = nextIssueCycle();
   hot_->hasIssued = true;
   hot_->lastIssue = depart;
+
+  // Tracing happens here, at issue time, never inside the departure
+  // closures below — they must stay within the inline event buffer.
+  if (hooks_ != nullptr && hooks_->tracer != nullptr) {
+    if (req.kind == OpKind::kStore) {
+      hooks_->tracer->onPosted(id_, toString(req.kind), depart);
+    } else {
+      hooks_->tracer->onIssue(id_, toString(req.kind), depart);
+    }
+  }
 
   if (req.kind == OpKind::kStore) {
     // Posted store: the request travels on its own; the core continues
@@ -83,6 +94,12 @@ void Core::complete(const MemResponse& r) {
     stats_.sleepCycles += waited;
   } else {
     stats_.stallCycles += waited;
+  }
+  if (hooks_ != nullptr) {
+    hooks_->record(hooks_->opLatency, waited);
+    if (hooks_->tracer != nullptr) {
+      hooks_->tracer->onComplete(id_, sys_.engine().now());
+    }
   }
 
   if (qnode_ != nullptr) {

@@ -28,6 +28,10 @@ namespace colibri::atomics {
 class Qnode;
 }
 
+namespace colibri::obs {
+struct SimHooks;
+}
+
 namespace colibri::arch {
 class System;
 
@@ -131,6 +135,10 @@ class Core {
   [[nodiscard]] const CoreStats& stats() const { return stats_; }
   void resetStats() { stats_.reset(); }
 
+  /// Observability hook bundle (null = off); used by the sync primitives
+  /// to count retries against the issuing core's execution context.
+  [[nodiscard]] const obs::SimHooks* obsHooks() const { return hooks_; }
+
  private:
   friend struct MemAwait;
   friend struct DelayAwait;
@@ -145,6 +153,7 @@ class Core {
   TileId tile_;
   atomics::Qnode* qnode_ = nullptr;  // set by System when Colibri is active
   CoreHot* hot_;                     // slot in System's dense hot-state array
+  const obs::SimHooks* hooks_ = nullptr;  // set by System with a recorder
 
   sim::Task task_;
   CoreStats stats_;

@@ -2,6 +2,7 @@
 
 #include <ostream>
 
+#include "obs/recorder.hpp"
 #include "report/json.hpp"
 #include "sim/check.hpp"
 
@@ -50,7 +51,7 @@ void writeCounters(report::JsonWriter& w,
   w.endObject();
 }
 
-void writeRep(report::JsonWriter& w, const RunResult& r) {
+void writeRep(report::JsonWriter& w, const RunResult& r, bool engineBlock) {
   w.beginObject();
   w.kv("seed", r.seed)
       .kv("opsPerCycle", r.rate.opsPerCycle)
@@ -104,6 +105,16 @@ void writeRep(report::JsonWriter& w, const RunResult& r) {
     w.endObject();
   }
   writeCounters(w, r.rate.counters);
+  if (engineBlock) {
+    // Opt-in (--json-engine): these values vary with --engine-threads.
+    w.key("engine").beginObject();
+    w.kv("windows", r.engineCounters.windows)
+        .kv("barriersTaken", r.engineCounters.barriersTaken)
+        .kv("barriersElided", r.engineCounters.barriersElided)
+        .kv("deferredIntents", r.engineCounters.deferredIntents)
+        .kv("idleShardSkips", r.engineCounters.idleShardSkips);
+    w.endObject();
+  }
   w.endObject();
 }
 
@@ -111,10 +122,17 @@ void writeRep(report::JsonWriter& w, const RunResult& r) {
 
 void writeJson(std::ostream& os, const std::vector<RunSpec>& specs,
                const std::vector<SweepResult>& results) {
+  writeJson(os, specs, results, JsonOptions{});
+}
+
+void writeJson(std::ostream& os, const std::vector<RunSpec>& specs,
+               const std::vector<SweepResult>& results,
+               const JsonOptions& opts) {
   COLIBRI_CHECK(specs.size() == results.size());
   report::JsonWriter w(os);
   w.beginObject();
-  // v2 = v1 plus the optional per-rep "opLatency" block (wgen kernels).
+  // v2 = v1 plus the optional per-rep "opLatency" block (wgen kernels)
+  // and the opt-in "engine" / "timeseries" extensions (JsonOptions).
   w.kv("schema", "colibri-exp-v2");
   w.key("runs").beginArray();
   for (std::size_t i = 0; i < specs.size(); ++i) {
@@ -131,7 +149,7 @@ void writeJson(std::ostream& os, const std::vector<RunSpec>& specs,
     writeConfig(w, spec.config);
     w.key("reps").beginArray();
     for (const auto& rep : res.reps) {
-      writeRep(w, rep);
+      writeRep(w, rep, opts.engineBlock);
     }
     w.endArray();
     w.key("aggregate").beginObject();
@@ -142,6 +160,9 @@ void writeJson(std::ostream& os, const std::vector<RunSpec>& specs,
     w.endObject();
   }
   w.endArray();
+  if (opts.recorder != nullptr && opts.recorder->sampledAnything()) {
+    opts.recorder->writeTimeseriesBlock(w);
+  }
   w.endObject();
   os << '\n';
 }

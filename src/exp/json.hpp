@@ -11,10 +11,28 @@
 
 #include "exp/sweep.hpp"
 
+namespace colibri::obs {
+class Recorder;
+}
+
 namespace colibri::exp {
+
+/// Opt-in extensions to the colibri-exp-v2 document. Both default to off
+/// because they change emitted bytes: the `engine` block varies with
+/// --engine-threads, and `timeseries` only exists when a recorder sampled.
+struct JsonOptions {
+  /// Emit the recorder's `timeseries` block (interval samples +
+  /// histograms) after the runs array.
+  const obs::Recorder* recorder = nullptr;
+  /// Emit a per-rep `engine` object (parallel-engine diagnostics).
+  bool engineBlock = false;
+};
 
 /// Serialize one sweep: specs[i] produced results[i] (sizes must match).
 void writeJson(std::ostream& os, const std::vector<RunSpec>& specs,
                const std::vector<SweepResult>& results);
+void writeJson(std::ostream& os, const std::vector<RunSpec>& specs,
+               const std::vector<SweepResult>& results,
+               const JsonOptions& opts);
 
 }  // namespace colibri::exp

@@ -2,6 +2,7 @@
 
 #include "arch/system.hpp"
 #include "model/area.hpp"
+#include "obs/recorder.hpp"
 #include "sim/random.hpp"
 
 namespace colibri::exp {
@@ -188,6 +189,16 @@ std::uint64_t repSeed(std::uint64_t base, std::uint32_t rep) {
 RunResult runOne(const RunSpec& spec, std::uint32_t rep) {
   arch::SystemConfig cfg = spec.config;
   cfg.seed = repSeed(spec.seed, rep);
+  if (rep != 0) {
+    // A Recorder tracks one System; with multiple repetitions only rep 0
+    // is observed (the CLI additionally restricts byte-compared sinks to
+    // --reps 1).
+    cfg.recorder = nullptr;
+  }
+  obs::Recorder* rec = cfg.recorder;
+  if (rec != nullptr) {
+    rec->beginRun();
+  }
 
   RunResult out;
   out.label = spec.label;
@@ -196,8 +207,25 @@ RunResult runOne(const RunSpec& spec, std::uint32_t rep) {
 
   const WorkloadParams params = withWindow(spec.params, spec.window);
   arch::System sys(cfg);
+  if (rec != nullptr && rec->config().sampleInterval > 0) {
+    // Interval samples, scheduled up front — before any workload spawns —
+    // so their event sequence numbers are identical in sequential and
+    // parallel runs. They run as global serial cycles: every event below
+    // the sample cycle has executed, making the counter-slot sums exact.
+    const sim::Cycle step = rec->config().sampleInterval;
+    const sim::Cycle horizon = spec.window.horizon();
+    for (sim::Cycle t = 0;; t += step) {
+      sys.at(t, [rec, &sys] { rec->sampleAt(sys.now()); });
+      if (t + step > horizon) {
+        break;
+      }
+    }
+  }
   std::visit(Dispatcher{sys, out}, params);
   out.engineCounters = sys.engineCounters();
+  if (rec != nullptr) {
+    rec->finalize(sys.now());
+  }
 
   out.tileAreaKge = tileAreaFor(cfg);
   out.energy = model::chargeEnergy(out.rate.counters);

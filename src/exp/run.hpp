@@ -104,8 +104,10 @@ struct RunResult {
   double averagePowerMw = 0.0;
 
   /// Parallel-engine counters (all zero under the sequential engine).
-  /// Diagnostic only: never serialized to CSV/JSON, so machine outputs
-  /// stay identical across --engine-threads values.
+  /// Diagnostic only: serialized solely under the caller's explicit
+  /// opt-in (exp::JsonOptions::engineBlock / --json-engine), because the
+  /// values depend on --engine-threads and default machine outputs must
+  /// stay identical across engine-thread counts.
   sim::EngineCounters engineCounters{};
 };
 

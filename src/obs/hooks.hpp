@@ -1,0 +1,30 @@
+// SimHooks: the one pointer the hot paths test.
+//
+// Core, Bank and the sync primitives hold a `const SimHooks*` that is null
+// unless a Recorder is attached, so with observability off every
+// instrumentation site compiles to a single predictable-untaken branch —
+// the same pattern as Bank's port shadow and the engine's dispatch trace.
+// The struct bundles the registry, the optional tracer and the
+// pre-registered hot-counter ids so a site never pays a name lookup.
+#pragma once
+
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace colibri::obs {
+
+struct SimHooks {
+  Registry* registry = nullptr;
+  Tracer* tracer = nullptr;  // null when tracing is off
+
+  // Hot counters (everything else is probed at sample points instead).
+  MetricId casRetries{};   ///< sync: CAS attempts that had to loop
+  MetricId rmwRetries{};   ///< sync: fetchAdd SC failures / queue-full LRs
+  MetricId wgenVisits{};   ///< wgen: phase visits completed
+  MetricId opLatency{};    ///< histogram of blocking-op completion latency
+
+  void add(MetricId id, std::uint64_t n = 1) const { registry->add(id, n); }
+  void record(MetricId id, std::uint64_t v) const { registry->record(id, v); }
+};
+
+}  // namespace colibri::obs

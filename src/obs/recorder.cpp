@@ -1,0 +1,213 @@
+#include "obs/recorder.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <ostream>
+#include <string>
+
+#include "report/json.hpp"
+#include "sim/check.hpp"
+#include "sim/framepool.hpp"
+
+namespace colibri::obs {
+
+namespace {
+
+/// Gauges are doubles, but most of ours are integral sums; print those
+/// without an exponent so the CSV reads (and diffs) like the counters do.
+std::string formatGauge(double v) {
+  if (std::isfinite(v) && std::floor(v) == v && std::abs(v) < 9.007199254740992e15) {
+    return std::to_string(static_cast<std::int64_t>(v));
+  }
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  COLIBRI_CHECK(ec == std::errc{});
+  return std::string(buf, ptr);
+}
+
+/// Human-readable label for a log2 histogram bucket.
+std::string bucketLabel(std::uint32_t b) {
+  if (b == 0) {
+    return "0";
+  }
+  const std::uint64_t lo = std::uint64_t{1} << (b - 1);
+  if (b == Registry::kHistogramBuckets - 1) {
+    return std::to_string(lo) + "+";
+  }
+  return std::to_string(lo) + "-" + std::to_string((lo << 1) - 1);
+}
+
+}  // namespace
+
+Recorder::Recorder(Config cfg) : cfg_(cfg), tracer_(cfg.traceEvery) {}
+
+void Recorder::beginRun() {
+  COLIBRI_CHECK_MSG(!runBegun_, "a Recorder records exactly one run");
+  runBegun_ = true;
+  frameBase_ = sim::framepool::pooledFrameCount() + sim::framepool::heapFrameCount();
+  arenaBase_ = sim::framepool::arenaBytes();
+}
+
+void Recorder::attachSystem() {
+  COLIBRI_CHECK_MSG(runBegun_, "attachSystem before beginRun");
+  COLIBRI_CHECK_MSG(!attached_, "a Recorder records exactly one System");
+  attached_ = true;
+}
+
+void Recorder::detachSystem() { registry_.clearProbes(); }
+
+void Recorder::sampleAt(sim::Cycle now) {
+  Row row;
+  row.cycle = now;
+  for (const auto& m : registry_.metrics()) {
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        row.counters.push_back(registry_.counterTotal(MetricId{m.cell}));
+        break;
+      case MetricKind::kGauge:
+        row.gauges.push_back(registry_.gaugeValue(m.cell));
+        break;
+      case MetricKind::kHistogram:
+        break;  // buckets are emitted once, at the end
+    }
+  }
+  samples_.push_back(std::move(row));
+}
+
+void Recorder::finalize(sim::Cycle now) {
+  if (finalized_) {
+    return;
+  }
+  finalized_ = true;
+  if (attached_ && (samples_.empty() || samples_.back().cycle != now)) {
+    sampleAt(now);
+  }
+}
+
+void Recorder::writeMetricsCsv(std::ostream& os) const {
+  os << "cycle";
+  for (const auto& m : registry_.metrics()) {
+    if (m.kind != MetricKind::kHistogram &&
+        m.cls == MetricClass::kDeterministic) {
+      os << ',' << m.name;
+    }
+  }
+  os << '\n';
+  for (const auto& row : samples_) {
+    os << row.cycle;
+    std::size_t ci = 0;
+    std::size_t gi = 0;
+    for (const auto& m : registry_.metrics()) {
+      switch (m.kind) {
+        case MetricKind::kCounter:
+          if (m.cls == MetricClass::kDeterministic) {
+            os << ',' << row.counters[ci];
+          }
+          ++ci;
+          break;
+        case MetricKind::kGauge:
+          if (m.cls == MetricClass::kDeterministic) {
+            os << ',' << formatGauge(row.gauges[gi]);
+          }
+          ++gi;
+          break;
+        case MetricKind::kHistogram:
+          break;
+      }
+    }
+    os << '\n';
+  }
+}
+
+void Recorder::writeTimeseriesBlock(report::JsonWriter& w) const {
+  w.key("timeseries").beginObject();
+  w.kv("interval", static_cast<std::uint64_t>(cfg_.sampleInterval));
+  w.key("metrics").beginArray();
+  for (const auto& m : registry_.metrics()) {
+    if (m.kind != MetricKind::kHistogram &&
+        m.cls == MetricClass::kDeterministic) {
+      w.value(m.name);
+    }
+  }
+  w.endArray();
+  // Each sample is [cycle, <metric values in the order above>].
+  w.key("samples").beginArray();
+  for (const auto& row : samples_) {
+    w.beginArray();
+    w.value(static_cast<std::uint64_t>(row.cycle));
+    std::size_t ci = 0;
+    std::size_t gi = 0;
+    for (const auto& m : registry_.metrics()) {
+      switch (m.kind) {
+        case MetricKind::kCounter:
+          if (m.cls == MetricClass::kDeterministic) {
+            w.value(row.counters[ci]);
+          }
+          ++ci;
+          break;
+        case MetricKind::kGauge:
+          if (m.cls == MetricClass::kDeterministic) {
+            w.value(row.gauges[gi]);
+          }
+          ++gi;
+          break;
+        case MetricKind::kHistogram:
+          break;
+      }
+    }
+    w.endArray();
+  }
+  w.endArray();
+  w.key("histograms").beginArray();
+  for (const auto& m : registry_.metrics()) {
+    if (m.kind == MetricKind::kHistogram &&
+        m.cls == MetricClass::kDeterministic) {
+      w.beginObject();
+      w.kv("name", m.name);
+      w.key("buckets").beginArray();
+      for (std::uint32_t b = 0; b < Registry::kHistogramBuckets; ++b) {
+        w.value(registry_.bucketTotal(MetricId{m.cell}, b));
+      }
+      w.endArray();
+      w.endObject();
+    }
+  }
+  w.endArray();
+  w.endObject();
+}
+
+void Recorder::writeChromeTrace(std::ostream& os) const {
+  COLIBRI_CHECK_MSG(cfg_.traceEnabled, "trace sink without --trace");
+  tracer_.writeChromeTrace(os);
+}
+
+void Recorder::printStats(std::ostream& os) const {
+  std::size_t gi = 0;
+  for (const auto& m : registry_.metrics()) {
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        os << "obs: " << m.name << " = "
+           << registry_.counterTotal(MetricId{m.cell}) << '\n';
+        break;
+      case MetricKind::kGauge:
+        // After detach the probes are gone; serve the closing sample.
+        if (!samples_.empty()) {
+          os << "obs: " << m.name << " = "
+             << formatGauge(samples_.back().gauges[gi]) << '\n';
+        }
+        ++gi;
+        break;
+      case MetricKind::kHistogram:
+        for (std::uint32_t b = 0; b < Registry::kHistogramBuckets; ++b) {
+          const std::uint64_t n = registry_.bucketTotal(MetricId{m.cell}, b);
+          if (n != 0) {
+            os << "obs: " << m.name << '[' << bucketLabel(b) << "] = " << n
+               << '\n';
+          }
+        }
+        break;
+    }
+  }
+}
+
+}  // namespace colibri::obs

@@ -1,0 +1,64 @@
+#include "obs/registry.hpp"
+
+#include <utility>
+
+#include "sim/check.hpp"
+
+namespace colibri::obs {
+
+std::uint32_t Registry::addRows(std::uint32_t n) {
+  const std::uint32_t first = counterRows_;
+  counterRows_ += n;
+  for (auto& slot : slots_) {
+    slot.resize(counterRows_, 0);
+  }
+  return first;
+}
+
+MetricId Registry::counter(std::string name, MetricClass cls) {
+  const MetricId id{addRows(1)};
+  metrics_.push_back({std::move(name), MetricKind::kCounter, cls, id.cell});
+  return id;
+}
+
+MetricId Registry::histogram(std::string name, MetricClass cls) {
+  const MetricId id{addRows(kHistogramBuckets)};
+  metrics_.push_back({std::move(name), MetricKind::kHistogram, cls, id.cell});
+  return id;
+}
+
+MetricId Registry::gauge(std::string name, std::function<double()> probe,
+                         MetricClass cls) {
+  const MetricId id{static_cast<std::uint32_t>(probes_.size())};
+  probes_.push_back(std::move(probe));
+  metrics_.push_back({std::move(name), MetricKind::kGauge, cls, id.cell});
+  return id;
+}
+
+void Registry::setShardSlots(std::uint32_t numShards) {
+  COLIBRI_CHECK_MSG(slots_.size() == 1,
+                    "shard slots already sized for this registry");
+  slots_.resize(static_cast<std::size_t>(numShards) + 1);
+  for (auto& slot : slots_) {
+    slot.resize(counterRows_, 0);
+  }
+}
+
+void Registry::clearProbes() { probes_.clear(); }
+
+std::uint64_t Registry::rowTotal(std::uint32_t row) const {
+  COLIBRI_CHECK(row < counterRows_);
+  std::uint64_t sum = 0;
+  for (const auto& slot : slots_) {
+    sum += slot[row];
+  }
+  return sum;
+}
+
+double Registry::gaugeValue(std::uint32_t probeIndex) const {
+  COLIBRI_CHECK_MSG(probeIndex < probes_.size() && probes_[probeIndex],
+                    "gauge probe read after detach");
+  return probes_[probeIndex]();
+}
+
+}  // namespace colibri::obs

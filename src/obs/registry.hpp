@@ -1,0 +1,124 @@
+// Metric registry: named counters, gauges and histograms keyed to
+// *simulated* cycles.
+//
+// Determinism contract (the reason this exists instead of ad-hoc printf):
+// every metric carries a class tag. kDeterministic metrics are functions of
+// the simulated event history alone, so their sampled values are
+// bit-identical across reruns, host machines, SweepRunner thread counts and
+// --engine-threads values. kDiagnostic metrics describe the machinery that
+// *ran* the simulation (parallel windows, allocator arenas) — useful on
+// stderr, but excluded from every byte-compared sink (--metrics-csv, the
+// exp JSON `timeseries` block).
+//
+// Parallel engine: counters are sharded. A worker executing shard s adds
+// into slot s+1; serial execution (the sequential engine, global serial
+// cycles, barrier merges) adds into slot 0. Reads sum the slots — exact at
+// every serial sample point, because by then all events before the sample
+// cycle have executed and addition commutes. Gauges are probes (callbacks
+// into live simulator state) and are only ever read at serial points.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/parallel.hpp"
+
+namespace colibri::obs {
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+/// kDeterministic: bit-identical across reruns / hosts / engine threads.
+/// kDiagnostic: describes the simulation machinery; stderr only.
+enum class MetricClass : std::uint8_t { kDeterministic, kDiagnostic };
+
+/// Opaque handle returned at registration. For counters it is the cell row;
+/// for histograms the first of kHistogramBuckets consecutive rows; for
+/// gauges the probe index.
+struct MetricId {
+  std::uint32_t cell = 0;
+};
+
+struct MetricInfo {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  MetricClass cls = MetricClass::kDeterministic;
+  std::uint32_t cell = 0;
+};
+
+class Registry {
+ public:
+  /// Log2 latency/value buckets per histogram: bucket 0 holds value 0,
+  /// bucket k holds [2^(k-1), 2^k), the last bucket absorbs the tail.
+  static constexpr std::uint32_t kHistogramBuckets = 20;
+
+  Registry() { slots_.emplace_back(); }
+
+  // --- Registration (serial, during System construction) -----------------
+  MetricId counter(std::string name,
+                   MetricClass cls = MetricClass::kDeterministic);
+  MetricId histogram(std::string name,
+                     MetricClass cls = MetricClass::kDeterministic);
+  MetricId gauge(std::string name, std::function<double()> probe,
+                 MetricClass cls = MetricClass::kDeterministic);
+
+  /// Size the per-shard counter slots (slot 0 = serial, slots 1..n =
+  /// shards). Called once by System::enableParallelEngine, after all hot
+  /// counters are registered and before any event runs.
+  void setShardSlots(std::uint32_t numShards);
+
+  /// Drop the gauge probes (they capture the System, which is being
+  /// destroyed); counter and histogram cells stay readable.
+  void clearProbes();
+
+  // --- Hot path -----------------------------------------------------------
+  /// Add to a counter from any execution context. Inside a parallel worker
+  /// window the add lands in the shard's own slot; everywhere else
+  /// (sequential engine, serial cycles, merges) in slot 0.
+  void add(MetricId id, std::uint64_t n = 1) {
+    const auto slot = static_cast<std::uint32_t>(
+        sim::ParallelDispatch::currentWindowShard() + 1);
+    slots_[slot][id.cell] += n;
+  }
+
+  /// Record one value into a histogram (same sharding as add()).
+  void record(MetricId id, std::uint64_t value) {
+    add(MetricId{id.cell + bucketOf(value)});
+  }
+
+  [[nodiscard]] static std::uint32_t bucketOf(std::uint64_t value) {
+    const auto w = static_cast<std::uint32_t>(std::bit_width(value));
+    return w < kHistogramBuckets ? w : kHistogramBuckets - 1;
+  }
+
+  // --- Reads (serial points only) ----------------------------------------
+  [[nodiscard]] std::uint64_t counterTotal(MetricId id) const {
+    return rowTotal(id.cell);
+  }
+  [[nodiscard]] std::uint64_t bucketTotal(MetricId id,
+                                          std::uint32_t bucket) const {
+    return rowTotal(id.cell + bucket);
+  }
+  [[nodiscard]] double gaugeValue(std::uint32_t probeIndex) const;
+  [[nodiscard]] bool probesLive() const { return !probes_.empty(); }
+
+  [[nodiscard]] const std::vector<MetricInfo>& metrics() const {
+    return metrics_;
+  }
+
+ private:
+  [[nodiscard]] std::uint64_t rowTotal(std::uint32_t row) const;
+  std::uint32_t addRows(std::uint32_t n);
+
+  std::vector<MetricInfo> metrics_;
+  std::uint32_t counterRows_ = 0;
+  /// slots_[slot][row]: per-execution-context counter cells. Each slot is
+  /// its own allocation, so workers on different shards never share a
+  /// cache line through this table.
+  std::vector<std::vector<std::uint64_t>> slots_;
+  std::vector<std::function<double()>> probes_;
+};
+
+}  // namespace colibri::obs

@@ -1,0 +1,186 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "report/json.hpp"
+#include "sim/check.hpp"
+
+namespace colibri::obs {
+
+void Tracer::bind(std::uint32_t numCores, std::uint32_t numBanks) {
+  COLIBRI_CHECK_MSG(cur_.empty(), "tracer already bound to a system");
+  numBanks_ = numBanks;
+  cur_.resize(numCores);
+  opCount_.assign(numCores, 0);
+  postCount_.assign(numCores, 0);
+  visitCount_.assign(numCores, 0);
+  done_.resize(numCores);
+  posted_.resize(numCores);
+  phases_.resize(numCores);
+}
+
+void Tracer::onIssue(std::uint32_t core, std::string_view kind,
+                     sim::Cycle departs) {
+  InFlight& f = cur_[core];
+  f.sampled = opCount_[core]++ % every_ == 0;
+  f.active = true;
+  f.rec = ReqSpan{};
+  f.rec.issue = departs;
+  f.rec.kind = kind;
+}
+
+void Tracer::onPosted(std::uint32_t core, std::string_view kind,
+                      sim::Cycle departs) {
+  if (postCount_[core]++ % every_ == 0) {
+    posted_[core].push_back({departs, kind});
+  }
+}
+
+void Tracer::onBankArrive(std::uint32_t core, std::uint32_t bank,
+                          sim::Cycle arrive, sim::Cycle grant) {
+  InFlight& f = cur_[core];
+  if (!f.active) {
+    return;  // op issued before the tracer attached (not possible today)
+  }
+  f.rec.bank = bank;
+  f.rec.arrive = arrive;
+  f.rec.grant = grant;
+}
+
+void Tracer::onRespond(std::uint32_t core, sim::Cycle at) {
+  InFlight& f = cur_[core];
+  if (f.active) {
+    f.rec.respond = at;
+  }
+}
+
+void Tracer::onComplete(std::uint32_t core, sim::Cycle at) {
+  InFlight& f = cur_[core];
+  if (!f.active) {
+    return;
+  }
+  f.active = false;
+  if (f.sampled) {
+    f.rec.complete = at;
+    done_[core].push_back(f.rec);
+  }
+}
+
+void Tracer::onPhase(std::uint32_t core, std::string_view name,
+                     sim::Cycle begin, sim::Cycle end) {
+  if (visitCount_[core]++ % every_ == 0) {
+    phases_[core].push_back({begin, end, name});
+  }
+}
+
+std::size_t Tracer::spanCount() const {
+  std::size_t n = 0;
+  for (const auto& v : done_) {
+    n += v.size();
+  }
+  return n;
+}
+
+namespace {
+
+/// One trace_event line, flattened for canonical sorting.
+struct Emit {
+  std::uint32_t pid = 0;
+  std::uint32_t tid = 0;
+  sim::Cycle ts = 0;
+  sim::Cycle dur = 0;
+  bool instant = false;
+  std::string_view name;
+  std::string_view argKey;  // empty = no args
+  std::uint64_t argValue = 0;
+};
+
+bool emitLess(const Emit& a, const Emit& b) {
+  if (a.pid != b.pid) return a.pid < b.pid;
+  if (a.tid != b.tid) return a.tid < b.tid;
+  if (a.ts != b.ts) return a.ts < b.ts;
+  if (a.dur != b.dur) return a.dur > b.dur;  // parents before children
+  if (a.name != b.name) return a.name < b.name;
+  return a.argValue < b.argValue;
+}
+
+void writeEvent(report::JsonWriter& w, const Emit& e) {
+  w.beginObject();
+  w.kv("name", e.name)
+      .kv("ph", e.instant ? "i" : "X")
+      .kv("pid", e.pid)
+      .kv("tid", e.tid)
+      .kv("ts", static_cast<std::uint64_t>(e.ts));
+  if (e.instant) {
+    w.kv("s", "t");
+  } else {
+    w.kv("dur", static_cast<std::uint64_t>(e.dur));
+  }
+  if (!e.argKey.empty()) {
+    w.key("args").beginObject();
+    w.kv(e.argKey, e.argValue);
+    w.endObject();
+  }
+  w.endObject();
+}
+
+void writeProcessName(report::JsonWriter& w, std::uint32_t pid,
+                      const char* name) {
+  w.beginObject();
+  w.kv("name", "process_name").kv("ph", "M").kv("pid", pid);
+  w.key("args").beginObject();
+  w.kv("name", name);
+  w.endObject();
+  w.endObject();
+}
+
+}  // namespace
+
+void Tracer::writeChromeTrace(std::ostream& os) const {
+  std::vector<Emit> events;
+  for (std::uint32_t c = 0; c < done_.size(); ++c) {
+    for (const auto& s : done_[c]) {
+      // Parent op span plus the three lifecycle children on the core track.
+      events.push_back({1, c, s.issue, s.complete - s.issue, false, s.kind,
+                        "bank", s.bank});
+      events.push_back(
+          {1, c, s.issue, s.arrive - s.issue, false, "net.req", {}, 0});
+      events.push_back({1, c, s.arrive, s.respond - s.arrive, false, "bank",
+                        "wait", s.grant - s.arrive});
+      events.push_back(
+          {1, c, s.respond, s.complete - s.respond, false, "net.resp", {}, 0});
+      // Mirrored service span on the bank track.
+      events.push_back(
+          {2, s.bank, s.grant, s.respond - s.grant, false, s.kind, "core", c});
+    }
+    for (const auto& p : posted_[c]) {
+      events.push_back({1, c, p.at, 0, true, p.kind, {}, 0});
+    }
+    for (const auto& ph : phases_[c]) {
+      events.push_back(
+          {1, c, ph.begin, ph.end - ph.begin, false, ph.name, {}, 0});
+    }
+  }
+  std::sort(events.begin(), events.end(), emitLess);
+
+  report::JsonWriter w(os);
+  w.beginObject();
+  w.kv("displayTimeUnit", "ns");
+  w.key("otherData").beginObject();
+  w.kv("clock", "simulated-cycles");
+  w.endObject();
+  w.key("traceEvents").beginArray();
+  writeProcessName(w, 1, "cores");
+  if (numBanks_ > 0) {
+    writeProcessName(w, 2, "banks");
+  }
+  for (const auto& e : events) {
+    writeEvent(w, e);
+  }
+  w.endArray();
+  w.endObject();
+  os << '\n';
+}
+
+}  // namespace colibri::obs

@@ -1,8 +1,21 @@
 #include "sync/atomic.hpp"
 
+#include "obs/hooks.hpp"
 #include "sim/check.hpp"
 
 namespace colibri::sync {
+
+namespace {
+
+/// Count one retry loop iteration (SC failure or queue-full LR) against
+/// the issuing core. A CAS value mismatch is a *result*, not a retry.
+void countRetry(Core& core, bool cas) {
+  if (const obs::SimHooks* h = core.obsHooks()) {
+    h->add(cas ? h->casRetries : h->rmwRetries);
+  }
+}
+
+}  // namespace
 
 const char* toString(RmwFlavor f) {
   switch (f) {
@@ -32,6 +45,7 @@ sim::Co<RmwResult> fetchAdd(Core& core, RmwFlavor flavor, Addr a, Word delta,
           co_return RmwResult{lr.value, true};
         }
         // Failed SC: the retry loop the paper sets out to eliminate.
+        countRetry(core, /*cas=*/false);
         co_await core.delay(backoff.next());
         if (abandon != nullptr && *abandon) {
           co_return RmwResult{0, false};
@@ -45,6 +59,7 @@ sim::Co<RmwResult> fetchAdd(Core& core, RmwFlavor flavor, Addr a, Word delta,
           // Reservation queue full (LRSCwait_q / Colibri with too few
           // slots): immediate fail, retry after backoff. We were never
           // enqueued, so abandoning here is legal.
+          countRetry(core, /*cas=*/false);
           co_await core.delay(backoff.next());
           if (abandon != nullptr && *abandon) {
             co_return RmwResult{0, false};
@@ -90,6 +105,7 @@ sim::Co<CasResult> compareAndSwap(Core& core, RmwFlavor flavor, Addr a,
       if (sc.ok) {
         co_return CasResult{expected, true};
       }
+      countRetry(core, /*cas=*/true);
       co_await core.delay(backoff.next());
       if (abandon != nullptr && *abandon) {
         co_return CasResult{lr.value, false};
@@ -102,6 +118,7 @@ sim::Co<CasResult> compareAndSwap(Core& core, RmwFlavor flavor, Addr a,
   while (true) {
     const auto lr = co_await core.lrWait(a);
     if (!lr.ok) {
+      countRetry(core, /*cas=*/true);
       co_await core.delay(backoff.next());
       if (abandon != nullptr && *abandon) {
         co_return CasResult{0, false};

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "arch/system.hpp"
+#include "obs/hooks.hpp"
 #include "sim/check.hpp"
 #include "sim/random.hpp"
 #include "sync/atomic.hpp"
@@ -59,6 +60,7 @@ sim::Task wgenWorker(arch::System& sys, arch::Core& core, WgenCtx& ctx,
                      const Role& role, std::uint32_t pidx) {
   auto rng = sim::Xoshiro256::forStream(sys.config().seed, core.id());
   sync::Backoff backoff(ctx.params->backoff, rng);
+  const obs::SimHooks* hooks = sys.obsHooks();
   std::size_t next = 0;
 
   while (!ctx.stop) {
@@ -66,6 +68,7 @@ sim::Task wgenWorker(arch::System& sys, arch::Core& core, WgenCtx& ctx,
     next = (next + 1) % role.phases.size();
     const Region& def = ctx.params->kernel.regions[phase.region];
     const ResolvedRegion& region = ctx.regions[phase.region];
+    const sim::Cycle visitStart = sys.now();
 
     for (std::uint32_t rep = 0; rep < phase.opsPerVisit && !ctx.stop;
          ++rep) {
@@ -136,6 +139,13 @@ sim::Task wgenWorker(arch::System& sys, arch::Core& core, WgenCtx& ctx,
           ctx.perCoreLatency[pidx].push_back(
               static_cast<double>(now - start));
         }
+      }
+    }
+    if (hooks != nullptr) {
+      hooks->add(hooks->wgenVisits);
+      if (hooks->tracer != nullptr) {
+        hooks->tracer->onPhase(core.id(), toString(phase.op), visitStart,
+                               sys.now());
       }
     }
     if (phase.gapCycles > 0 && !ctx.stop) {

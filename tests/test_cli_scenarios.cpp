@@ -185,6 +185,12 @@ TEST(CliDriver, StatsFlagPrintsCountersToStderrOnly) {
   const auto elided = grab("barriers-elided=");
   EXPECT_GT(windows, 0u);
   EXPECT_EQ(taken + elided, windows);
+  // --stats also routes the metric registry to stderr: deterministic and
+  // diagnostic metrics alike, as `obs: name = value` lines.
+  EXPECT_NE(statsErr.find("obs: core.issuedOps = "), std::string::npos)
+      << statsErr;
+  EXPECT_NE(statsErr.find("obs: engine.windows = "), std::string::npos)
+      << statsErr;
 }
 
 TEST(CliDriver, UnknownFlagExitsNonzeroViaMain) {

@@ -1,0 +1,379 @@
+// Observability layer: the metric registry's sharded counters, the span
+// tracer's Chrome output, and the end-to-end determinism contract — sink
+// bytes are identical across reruns, SweepRunner thread counts, and
+// --engine-threads values, while stdout stays byte-identical whether or
+// not a sink is attached.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli/driver.hpp"
+#include "exp/run.hpp"
+#include "obs/recorder.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+#include "sim/check.hpp"
+#include "test_util.hpp"
+#include "wgen/presets.hpp"
+
+namespace colibri {
+namespace {
+
+TEST(ObsRegistry, CountersAccumulateAndSumAcrossSlots) {
+  obs::Registry reg;
+  const auto a = reg.counter("a");
+  const auto b = reg.counter("b");
+  reg.add(a);
+  reg.add(a, 4);
+  EXPECT_EQ(reg.counterTotal(a), 5u);
+  EXPECT_EQ(reg.counterTotal(b), 0u);
+
+  // Outside any worker window currentWindowShard() is -1, so adds land in
+  // slot 0 even after the table is sharded — and prior values survive.
+  reg.setShardSlots(4);
+  reg.add(b, 7);
+  EXPECT_EQ(reg.counterTotal(a), 5u);
+  EXPECT_EQ(reg.counterTotal(b), 7u);
+
+  EXPECT_THROW(reg.setShardSlots(2), sim::InvariantViolation);
+}
+
+TEST(ObsRegistry, HistogramBucketsAreLog2) {
+  obs::Registry reg;
+  const auto h = reg.histogram("lat");
+  EXPECT_EQ(obs::Registry::bucketOf(0), 0u);
+  EXPECT_EQ(obs::Registry::bucketOf(1), 1u);
+  EXPECT_EQ(obs::Registry::bucketOf(2), 2u);
+  EXPECT_EQ(obs::Registry::bucketOf(3), 2u);
+  EXPECT_EQ(obs::Registry::bucketOf(4), 3u);
+  EXPECT_EQ(obs::Registry::bucketOf(~0ULL),
+            obs::Registry::kHistogramBuckets - 1);
+
+  reg.record(h, 0);
+  reg.record(h, 3);
+  reg.record(h, 3);
+  EXPECT_EQ(reg.bucketTotal(h, 0), 1u);
+  EXPECT_EQ(reg.bucketTotal(h, 2), 2u);
+  EXPECT_EQ(reg.bucketTotal(h, 1), 0u);
+}
+
+TEST(ObsRegistry, GaugesProbeUntilCleared) {
+  obs::Registry reg;
+  int x = 41;
+  const auto g = reg.gauge("x", [&x] { return static_cast<double>(x); });
+  x = 42;
+  EXPECT_EQ(reg.gaugeValue(g.cell), 42.0);
+  EXPECT_TRUE(reg.probesLive());
+  reg.clearProbes();
+  EXPECT_FALSE(reg.probesLive());
+  EXPECT_THROW((void)reg.gaugeValue(g.cell), sim::InvariantViolation);
+}
+
+TEST(ObsTracer, EmitsValidChromeTraceJson) {
+  obs::Tracer tr;
+  tr.bind(2, 4);
+  tr.onIssue(0, "load", 10);
+  tr.onBankArrive(0, 3, 14, 15);
+  tr.onRespond(0, 18);
+  tr.onComplete(0, 22);
+  tr.onPosted(1, "store", 11);
+  tr.onPhase(0, "rmw", 5, 30);
+  EXPECT_EQ(tr.spanCount(), 1u);
+
+  std::ostringstream os;
+  tr.writeChromeTrace(os);
+  const std::string doc = os.str();
+  EXPECT_TRUE(test::isValidJson(doc)) << doc;
+  EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(doc.find("\"net.req\""), std::string::npos);
+  EXPECT_NE(doc.find("\"net.resp\""), std::string::npos);
+  EXPECT_NE(doc.find("simulated-cycles"), std::string::npos);
+  // The parent span, the bank-track mirror, the instant, and the phase.
+  EXPECT_NE(doc.find("\"load\""), std::string::npos);
+  EXPECT_NE(doc.find("\"store\""), std::string::npos);
+  EXPECT_NE(doc.find("\"rmw\""), std::string::npos);
+}
+
+TEST(ObsTracer, SampleEveryKeepsEveryKthOpPerCore) {
+  obs::Tracer tr(2);
+  tr.bind(1, 1);
+  for (int i = 0; i < 6; ++i) {
+    tr.onIssue(0, "load", 10 * i);
+    tr.onBankArrive(0, 0, 10 * i + 1, 10 * i + 2);
+    tr.onRespond(0, 10 * i + 3);
+    tr.onComplete(0, 10 * i + 4);
+  }
+  EXPECT_EQ(tr.spanCount(), 3u);  // ops 0, 2, 4
+}
+
+exp::RunSpec smallSpec() {
+  exp::RunSpec spec;
+  spec.label = "obs-test";
+  spec.config = arch::SystemConfig::smallTest();
+  spec.window = workloads::MeasureWindow{200, 800};
+  spec.workload = "zipf_hot";
+  const auto* preset = wgen::findPreset("zipf_hot");
+  EXPECT_NE(preset, nullptr);
+  wgen::WgenParams p;
+  p.kernel = preset->spec;
+  spec.params = p;
+  return spec;
+}
+
+std::string metricsCsvOf(std::uint32_t engineThreads) {
+  obs::Recorder::Config rc;
+  rc.sampleInterval = 250;
+  obs::Recorder rec(rc);
+  auto spec = smallSpec();
+  spec.config.engineThreads = engineThreads;
+  spec.config.recorder = &rec;
+  const auto res = exp::runOne(spec);
+  EXPECT_TRUE(res.verified);
+  std::ostringstream os;
+  rec.writeMetricsCsv(os);
+  return os.str();
+}
+
+TEST(ObsRecorder, MetricsCsvIsByteIdenticalAcrossRerunsAndEngineThreads) {
+  const std::string seq = metricsCsvOf(1);
+  EXPECT_NE(seq.find("cycle,"), std::string::npos);
+  EXPECT_NE(seq.find("core.issuedOps"), std::string::npos);
+  // Diagnostic metrics never reach the byte-compared sink.
+  EXPECT_EQ(seq.find("framepool.arenaBytes"), std::string::npos);
+  EXPECT_EQ(seq.find("engine.windows"), std::string::npos);
+  EXPECT_GT(std::count(seq.begin(), seq.end(), '\n'), 3);
+
+  EXPECT_EQ(metricsCsvOf(1), seq) << "rerun changed sink bytes";
+  EXPECT_EQ(metricsCsvOf(2), seq) << "engine threads changed sink bytes";
+}
+
+TEST(ObsRecorder, SecondRunOnSameRecorderIsRejected) {
+  obs::Recorder rec;
+  auto spec = smallSpec();
+  spec.config.recorder = &rec;
+  (void)exp::runOne(spec);
+  EXPECT_THROW((void)exp::runOne(spec), sim::InvariantViolation);
+}
+
+TEST(ObsRecorder, RepsBeyondZeroRunUnobserved) {
+  obs::Recorder rec;
+  auto spec = smallSpec();
+  spec.config.recorder = &rec;
+  // rep != 0 must null the recorder inside runOne — the same Recorder can
+  // then still observe rep 0 afterwards.
+  (void)exp::runOne(spec, 1);
+  const auto res = exp::runOne(spec, 0);
+  EXPECT_TRUE(res.verified);
+  EXPECT_TRUE(rec.sampledAnything());
+}
+
+// --- CLI end-to-end ------------------------------------------------------
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  EXPECT_TRUE(f.good()) << path;
+  std::ostringstream os;
+  os << f.rdbuf();
+  return os.str();
+}
+
+struct CliRun {
+  int rc = 0;
+  std::string out;
+  std::string err;
+};
+
+CliRun runCli(std::vector<std::string> args) {
+  std::ostringstream out, err;
+  CliRun r;
+  r.rc = cli::runMain(args, out, err);
+  r.out = out.str();
+  r.err = err.str();
+  return r;
+}
+
+std::vector<std::string> smallArgs() {
+  return {"--workload", "zipf_hot", "--cores", "64", "--tiles-per-group",
+          "4",          "--warmup", "200",     "--measure", "800"};
+}
+
+std::string tmpPath(const char* name) {
+  return testing::TempDir() + name;
+}
+
+TEST(ObsCli, SinksAreIdenticalAcrossEngineAndSweepThreads) {
+  struct Case {
+    const char* engineThreads;
+    const char* sweepThreads;
+  };
+  const Case cases[] = {{"1", "1"}, {"4", "1"}, {"1", "4"}};
+  std::string baseCsv;
+  std::string baseTrace;
+  for (const auto& c : cases) {
+    const std::string csv = tmpPath("obs_m.csv");
+    const std::string trace = tmpPath("obs_t.json");
+    auto args = smallArgs();
+    for (const char* extra :
+         {"--engine-threads", c.engineThreads, "--threads", c.sweepThreads}) {
+      args.emplace_back(extra);
+    }
+    args.emplace_back("--metrics-csv=" + csv);
+    args.emplace_back("--trace=" + trace);
+    args.emplace_back("--metrics-interval=250");
+    const auto r = runCli(args);
+    ASSERT_EQ(r.rc, 0) << r.err;
+    const std::string csvBytes = slurp(csv);
+    const std::string traceBytes = slurp(trace);
+    EXPECT_TRUE(test::isValidJson(traceBytes));
+    if (baseCsv.empty()) {
+      baseCsv = csvBytes;
+      baseTrace = traceBytes;
+      continue;
+    }
+    EXPECT_EQ(csvBytes, baseCsv)
+        << "metrics CSV differs at engine-threads=" << c.engineThreads
+        << " threads=" << c.sweepThreads;
+    EXPECT_EQ(traceBytes, baseTrace)
+        << "trace differs at engine-threads=" << c.engineThreads
+        << " threads=" << c.sweepThreads;
+  }
+}
+
+TEST(ObsCli, AttachingSinksLeavesStdoutUntouched) {
+  // Table mode.
+  const auto plain = runCli(smallArgs());
+  ASSERT_EQ(plain.rc, 0) << plain.err;
+  {
+    auto args = smallArgs();
+    args.emplace_back("--metrics-csv=" + tmpPath("obs_so.csv"));
+    args.emplace_back("--trace=" + tmpPath("obs_so.json"));
+    const auto sink = runCli(args);
+    ASSERT_EQ(sink.rc, 0) << sink.err;
+    EXPECT_EQ(sink.out, plain.out);
+  }
+  // JSON mode: a trace-only sink must not grow the document either.
+  auto jsonArgs = smallArgs();
+  jsonArgs.emplace_back("--json");
+  const auto plainJson = runCli(jsonArgs);
+  ASSERT_EQ(plainJson.rc, 0) << plainJson.err;
+  EXPECT_EQ(plainJson.out.find("timeseries"), std::string::npos);
+  EXPECT_EQ(plainJson.out.find("\"engine\""), std::string::npos);
+  {
+    auto args = jsonArgs;
+    args.emplace_back("--trace=" + tmpPath("obs_sj.json"));
+    const auto sink = runCli(args);
+    ASSERT_EQ(sink.rc, 0) << sink.err;
+    EXPECT_EQ(sink.out, plainJson.out);
+  }
+}
+
+TEST(ObsCli, MetricsSinkAddsTimeseriesBlockToJson) {
+  auto args = smallArgs();
+  args.emplace_back("--json");
+  args.emplace_back("--metrics-csv=" + tmpPath("obs_ts.csv"));
+  args.emplace_back("--metrics-interval=250");
+  const auto r = runCli(args);
+  ASSERT_EQ(r.rc, 0) << r.err;
+  EXPECT_TRUE(test::isValidJson(r.out));
+  EXPECT_NE(r.out.find("\"timeseries\""), std::string::npos);
+  EXPECT_NE(r.out.find("\"interval\": 250"), std::string::npos);
+  EXPECT_NE(r.out.find("\"core.opLatency\""), std::string::npos);
+  EXPECT_NE(r.out.find("\"samples\""), std::string::npos);
+}
+
+TEST(ObsCli, JsonEngineBlockIsOptInAndObeysBarrierInvariant) {
+  auto args = smallArgs();
+  for (const char* extra : {"--json", "--json-engine", "--engine-threads",
+                            "4"}) {
+    args.emplace_back(extra);
+  }
+  const auto r = runCli(args);
+  ASSERT_EQ(r.rc, 0) << r.err;
+  EXPECT_TRUE(test::isValidJson(r.out));
+  const auto pos = r.out.find("\"engine\"");
+  ASSERT_NE(pos, std::string::npos);
+  auto grab = [&](const char* key) {
+    const auto kpos = r.out.find(key, pos);
+    EXPECT_NE(kpos, std::string::npos) << key;
+    return std::strtoull(r.out.c_str() + kpos + std::strlen(key), nullptr,
+                         10);
+  };
+  const auto windows = grab("\"windows\": ");
+  EXPECT_GT(windows, 0u);
+  EXPECT_EQ(grab("\"barriersTaken\": ") + grab("\"barriersElided\": "),
+            windows);
+}
+
+TEST(ObsCli, StatsRoutesThroughRegistry) {
+  auto args = smallArgs();
+  args.emplace_back("--stats");
+  const auto r = runCli(args);
+  ASSERT_EQ(r.rc, 0) << r.err;
+  EXPECT_NE(r.err.find("obs: core.issuedOps = "), std::string::npos)
+      << r.err;
+  EXPECT_NE(r.err.find("obs: core.opLatency["), std::string::npos) << r.err;
+  // Diagnostic metrics do appear on stderr (unlike the byte-compared
+  // sinks), and --stats tolerates --reps > 1 (rep 0 is the observed one).
+  EXPECT_NE(r.err.find("obs: framepool.arenaBytes = "), std::string::npos);
+
+  auto reps = smallArgs();
+  reps.emplace_back("--stats");
+  reps.emplace_back("--reps=2");
+  EXPECT_EQ(runCli(reps).rc, 0);
+}
+
+TEST(ObsCli, SinkFlagMisuseIsRejected) {
+  {
+    auto args = smallArgs();
+    args.emplace_back("--metrics-csv=" + tmpPath("obs_rej.csv"));
+    args.emplace_back("--reps=2");
+    const auto r = runCli(args);
+    EXPECT_EQ(r.rc, 2);
+    EXPECT_NE(r.err.find("--reps 1"), std::string::npos) << r.err;
+  }
+  {
+    auto args = smallArgs();
+    args.emplace_back("--trace=" + tmpPath("obs_rej.json"));
+    args.emplace_back("--trace-sample=0");
+    EXPECT_EQ(runCli(args).rc, 2);
+  }
+  {
+    auto args = smallArgs();
+    args.emplace_back("--json-engine");
+    const auto r = runCli(args);
+    EXPECT_EQ(r.rc, 2);
+    EXPECT_NE(r.err.find("--json"), std::string::npos) << r.err;
+  }
+  {
+    const auto r = runCli({"--litmus", "dekker",
+                           "--trace=" + tmpPath("obs_rej2.json")});
+    EXPECT_EQ(r.rc, 2);
+    EXPECT_NE(r.err.find("litmus"), std::string::npos) << r.err;
+  }
+}
+
+TEST(ObsCli, TraceSampleThinsTheTraceDeterministically) {
+  auto traceOf = [&](const char* sample) {
+    const std::string path = tmpPath("obs_k.json");
+    auto args = smallArgs();
+    args.emplace_back("--trace=" + path);
+    args.emplace_back(std::string("--trace-sample=") + sample);
+    const auto r = runCli(args);
+    EXPECT_EQ(r.rc, 0) << r.err;
+    return slurp(path);
+  };
+  const auto full = traceOf("1");
+  const auto thin = traceOf("8");
+  EXPECT_TRUE(test::isValidJson(thin));
+  EXPECT_LT(thin.size(), full.size() / 2);
+  EXPECT_EQ(traceOf("8"), thin) << "sampled trace must stay deterministic";
+}
+
+}  // namespace
+}  // namespace colibri
