@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "fault/fault.hpp"
 #include "obs/hooks.hpp"
 #include "sim/check.hpp"
 #include "sim/event.hpp"
@@ -44,9 +45,22 @@ void Bank::receive(const MemRequest& req) {
     }
   }
   const sim::Cycle grant = port_.acquire(at);
+  sim::Cycle serveAt = grant;
+  if (fault_ != nullptr) {
+    // Transient service stall: extra cycles between the port grant and the
+    // adapter. The port itself is untouched (its grant sequence — and the
+    // parallel engine's shadow replay of it — stays exactly as without
+    // faults); the clamp keeps service in order, so a stalled request
+    // delays everything granted behind it, like a refresh-busy bank.
+    serveAt += fault_->stall(id_, req.core, grant);
+    if (serveAt < lastServe_) {
+      serveAt = lastServe_;
+    }
+    lastServe_ = serveAt;
+  }
   if (hooks_ != nullptr && hooks_->tracer != nullptr &&
       expectsResponse(req.kind)) {
-    hooks_->tracer->onBankArrive(req.core, id_, at, grant);
+    hooks_->tracer->onBankArrive(req.core, id_, at, serveAt);
   }
   auto serve = [this, req] {
     ++stats_.requests;
@@ -54,7 +68,7 @@ void Bank::receive(const MemRequest& req) {
   };
   static_assert(sim::InlineEvent::fitsInline<decltype(serve)>,
                 "bank service closure must fit the inline event buffer");
-  engine_.scheduleAt(grant, std::move(serve));
+  engine_.scheduleAt(serveAt, std::move(serve));
 }
 
 sim::Cycle Bank::backlogAt(sim::Cycle at) const {

@@ -87,6 +87,14 @@ class Bank final : public atomics::BankContext {
   /// Attach the observability hook bundle (nullptr = off).
   void setObsHooks(const obs::SimHooks* hooks) { hooks_ = hooks; }
 
+  /// Attach the fault plan (null = injection off). Transient service
+  /// stalls add cycles between the port grant and the adapter handling
+  /// the request; in-order service is preserved by a monotone clamp.
+  void setFaultPlan(fault::FaultPlan* plan) { fault_ = plan; }
+  [[nodiscard]] fault::FaultPlan* faultPlan() const override {
+    return fault_;
+  }
+
   [[nodiscard]] atomics::AtomicAdapter& adapter() { return *adapter_; }
   [[nodiscard]] const atomics::AtomicAdapter& adapter() const {
     return *adapter_;
@@ -103,6 +111,8 @@ class Bank final : public atomics::BankContext {
   SystemConfig cfg_;
   BankId id_;
   sim::ThroughputResource port_;
+  sim::Cycle lastServe_ = 0;  ///< stall clamp: service stays in-order
+  fault::FaultPlan* fault_ = nullptr;
   sim::ParallelDispatch::PortShadow* shadow_ = nullptr;
   const obs::SimHooks* hooks_ = nullptr;
   std::vector<Word> words_;

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <string>
 
+#include "fault/fault.hpp"
 #include "sim/check.hpp"
 #include "sim/types.hpp"
 
@@ -87,6 +88,22 @@ struct SystemConfig {
   // --- Misc ----------------------------------------------------------------
   std::uint64_t seed = 0xC011B21;
 
+  // --- Fault injection ------------------------------------------------------
+  /// Deterministic fault-injection plan (disabled by default: every
+  /// probability zero). When enabled the System builds a FaultPlan whose
+  /// decisions are pure hashes of (fault seed, site, entities, cycle) —
+  /// bit-identical across reruns and engine-thread counts. A zero
+  /// `fault.seed` derives one from `seed`, so sweep reps explore distinct
+  /// fault schedules unless the seed is pinned explicitly.
+  fault::FaultConfig fault;
+
+  /// Watchdog: if no core retires a productive operation (see
+  /// CoreHot::lastProductive) for this many cycles while tasks are still
+  /// pending, the run stops with a structured blame report. 0 disables.
+  /// The default is far beyond any healthy workload's longest quiet gap
+  /// but small enough to bound hang diagnosis time.
+  sim::Cycle watchdogCycles = 250'000;
+
   // --- Observability --------------------------------------------------------
   /// Optional recorder the System attaches to during construction (metric
   /// registry + span tracer). Null (the default) keeps every hook compiled
@@ -135,6 +152,7 @@ struct SystemConfig {
     COLIBRI_CHECK(lrscWaitQueueCapacity >= 1);
     COLIBRI_CHECK(colibriQueuesPerController >= 1);
     COLIBRI_CHECK(engineThreads >= 1);
+    fault.validate();
   }
 
   /// A small 16-core configuration for fast unit tests (same structure:

@@ -3,6 +3,7 @@
 #include <type_traits>
 #include <utility>
 
+#include "fault/fault.hpp"
 #include "sim/parallel.hpp"
 
 namespace colibri::arch {
@@ -134,13 +135,24 @@ Cycle Network::routeRequest(CoreId c, BankId b, Cycle at,
   // stage chain, stage grants never decrease in acquire order, and the
   // class's base latency is constant — so it is enforced as a hard check
   // rather than silently rewriting the delivery cycle.
-  const Cycle arrive = cleared + baseLatency(d);
+  Cycle arrive = cleared + baseLatency(d);
   Cycle& last = lastRequestToBank_[static_cast<std::size_t>(b) *
                                        kDistanceClasses +
                                    static_cast<std::size_t>(d)];
-  COLIBRI_CHECK_MSG(arrive >= last,
-                    "request FIFO order violated into bank "
-                        << b << ": arrive " << arrive << " < last " << last);
+  if (fault_ != nullptr && fault_->netDelayActive()) {
+    // Injected delivery delay: only ever adds cycles (the parallel
+    // engine's cross-shard lookahead stays valid), and the FIFO invariant
+    // becomes a binding clamp — an artificially delayed message holds up
+    // the stream behind it.
+    arrive += fault_->netDelay(c, b, /*response=*/false, at);
+    if (arrive < last) {
+      arrive = last;
+    }
+  } else {
+    COLIBRI_CHECK_MSG(arrive >= last,
+                      "request FIFO order violated into bank "
+                          << b << ": arrive " << arrive << " < last " << last);
+  }
   last = arrive;
 #ifndef NDEBUG
   if (!denseCoreToBank_.empty()) {
@@ -173,13 +185,20 @@ Cycle Network::routeResponse(BankId b, CoreId c, Cycle at) {
   // Responses are pure latency, so per-(bank, class) arrivals are monotone
   // in send order and the clamp never binds (same argument as requests,
   // with an empty stage chain).
-  const Cycle arrive = at + baseLatency(d);
+  Cycle arrive = at + baseLatency(d);
   Cycle& last = lastResponseFromBank_[static_cast<std::size_t>(b) *
                                           kDistanceClasses +
                                       static_cast<std::size_t>(d)];
-  COLIBRI_CHECK_MSG(arrive >= last,
-                    "response FIFO order violated from bank "
-                        << b << ": arrive " << arrive << " < last " << last);
+  if (fault_ != nullptr && fault_->netDelayActive()) {
+    arrive += fault_->netDelay(c, b, /*response=*/true, at);
+    if (arrive < last) {
+      arrive = last;
+    }
+  } else {
+    COLIBRI_CHECK_MSG(arrive >= last,
+                      "response FIFO order violated from bank "
+                          << b << ": arrive " << arrive << " < last " << last);
+  }
   last = arrive;
 #ifndef NDEBUG
   if (!denseBankToCore_.empty()) {

@@ -49,6 +49,10 @@
 #include "sim/resource.hpp"
 #include "sim/types.hpp"
 
+namespace colibri::fault {
+class FaultPlan;
+}
+
 namespace colibri::arch {
 
 using sim::Cycle;
@@ -107,6 +111,13 @@ class Network {
   /// traffic then counts into the executing shard's bucket.
   void enableShardStats(std::uint32_t numShards);
 
+  /// Attach the fault plan (null = injection off). With net-delay faults
+  /// active the per-(bank, class) FIFO invariant is enforced as a true
+  /// clamp instead of a hard check: injected delay can reorder raw
+  /// arrivals, and the clamp restores FIFO delivery (a delayed message
+  /// delays everything behind it on the same stream, like a blocked flit).
+  void setFaultPlan(fault::FaultPlan* plan) { fault_ = plan; }
+
   [[nodiscard]] const Topology& topology() const { return topo_; }
 
   /// Total queueing delay currently accumulated on group links (congestion
@@ -159,6 +170,7 @@ class Network {
 #endif
   NetworkStats stats_;
   std::vector<NetworkStats> shardStats_;  // parallel mode, one per shard
+  fault::FaultPlan* fault_ = nullptr;     // null = injection off
 };
 
 }  // namespace colibri::arch

@@ -1,6 +1,7 @@
 #include "arch/system.hpp"
 
 #include <algorithm>
+#include <sstream>
 #include <utility>
 
 #include "obs/hooks.hpp"
@@ -8,6 +9,7 @@
 #include "sim/check.hpp"
 #include "sim/event.hpp"
 #include "sim/framepool.hpp"
+#include "sim/random.hpp"
 #include "sim/resource.hpp"
 
 namespace colibri::arch {
@@ -43,6 +45,40 @@ System::System(const SystemConfig& cfg)
             injectRequest(c, wake);
           });
     }
+  }
+
+  if (cfg_.fault.enabled()) {
+    fault::FaultConfig fc = cfg_.fault;
+    if (fc.seed == 0) {
+      // Derive from the system seed so sweep repetitions explore distinct
+      // fault schedules unless --fault-seed pins one.
+      std::uint64_t s = cfg_.seed ^ 0xFA175EED00000001ULL;
+      fc.seed = sim::splitmix64(s);
+      if (fc.seed == 0) {
+        fc.seed = 1;
+      }
+    }
+    faultPlan_ = std::make_unique<fault::FaultPlan>(fc);
+    net_.setFaultPlan(faultPlan_.get());
+    for (auto& b : banks_) {
+      b->setFaultPlan(faultPlan_.get());
+    }
+  }
+
+  if (cfg_.watchdogCycles > 0) {
+    fault::Watchdog::Hooks hooks;
+    hooks.lastProgress = [this] {
+      sim::Cycle last = 0;
+      for (const CoreHot& h : coreHot_) {
+        last = std::max(last, h.lastProductive);
+      }
+      return last;
+    };
+    hooks.allDone = [this] { return allTasksDone(); };
+    hooks.blame = [this](sim::Cycle at) { return blameReport(at); };
+    watchdog_ =
+        std::make_unique<fault::Watchdog>(cfg_.watchdogCycles, std::move(hooks));
+    engine_.setProgressProbe(watchdog_.get());
   }
 
   if (cfg_.recorder != nullptr) {
@@ -212,9 +248,34 @@ void System::attachObservability() {
       [] { return static_cast<double>(sim::framepool::arenaBytes()); },
       MC::kDiagnostic);
 
+  if (faultPlan_ != nullptr) {
+    fault::FaultPlan* fp = faultPlan_.get();
+    // Deterministic class: injection decisions are pure hashes of
+    // (seed, site, entities, cycle), so the counts are bit-identical
+    // across reruns and engine-thread counts and belong in goldens.
+    reg.gauge("fault.netDelays", [fp] {
+      return static_cast<double>(fp->counters().at(fault::Site::kNetDelay));
+    });
+    reg.gauge("fault.scFails", [fp] {
+      return static_cast<double>(fp->counters().at(fault::Site::kScFail));
+    });
+    reg.gauge("fault.evictions", [fp] {
+      return static_cast<double>(fp->counters().at(fault::Site::kEvict));
+    });
+    reg.gauge("fault.stalls", [fp] {
+      return static_cast<double>(fp->counters().at(fault::Site::kStall));
+    });
+    reg.gauge("fault.injected", [fp] {
+      return static_cast<double>(fp->counters().total());
+    });
+  }
+
   if (obs::Tracer* tr = rec->tracer()) {
     tr->bind(cfg_.numCores, cfg_.numBanks());
     obsHooks_->tracer = tr;
+    if (faultPlan_ != nullptr) {
+      faultPlan_->setTracer(tr);
+    }
   }
   for (auto& b : banks_) {
     b->setObsHooks(obsHooks_.get());
@@ -252,6 +313,11 @@ void System::enableParallelEngine() {
     banks_[b]->setPortShadow(&portShadow_[b]);
   }
   net_.enableShardStats(groups);
+  if (faultPlan_ != nullptr) {
+    // One injection-counter slot per shard (plus the serial slot), so
+    // worker-thread counting never contends or races.
+    faultPlan_->setShardSlots(groups);
+  }
   if (obsHooks_ != nullptr) {
     // One counter slot per shard, so worker adds never contend or race.
     cfg_.recorder->registry().setShardSlots(groups);
@@ -380,6 +446,83 @@ void System::resetStats() {
     bank->resetStats();
   }
   net_.resetStats();
+  if (faultPlan_ != nullptr) {
+    faultPlan_->resetCounters();
+  }
+}
+
+std::string System::blameReport(sim::Cycle now) const {
+  constexpr std::size_t kMaxBlamedCores = 16;
+  std::ostringstream os;
+  sim::Cycle lastAny = 0;
+  for (const CoreHot& h : coreHot_) {
+    lastAny = std::max(lastAny, h.lastProductive);
+  }
+  os << "blame report at cycle " << now << " (adapter "
+     << toString(cfg_.adapter) << ", last productive retirement system-wide at "
+     << lastAny << "):\n";
+
+  std::vector<BankId> blamedBanks;
+  std::size_t stuck = 0;
+  std::size_t shown = 0;
+  for (CoreId c = 0; c < cfg_.numCores; ++c) {
+    const Core& core = *cores_[c];
+    if (!core.task_.valid() || core.task_.done()) {
+      continue;
+    }
+    ++stuck;
+    if (shown == kMaxBlamedCores) {
+      continue;  // keep counting, stop printing
+    }
+    ++shown;
+    const CoreHot& h = coreHot_[c];
+    os << "  core " << c << ": ";
+    if (h.pendingHandle != nullptr) {
+      const BankId b = static_cast<BankId>(h.pendingAddr % cfg_.numBanks());
+      os << "waiting on " << toString(h.pendingKind) << " to addr "
+         << h.pendingAddr << " (bank " << b << ") since cycle "
+         << h.pendingSince;
+      if (std::find(blamedBanks.begin(), blamedBanks.end(), b) ==
+          blamedBanks.end()) {
+        blamedBanks.push_back(b);
+      }
+    } else {
+      os << "no outstanding request";
+    }
+    os << ", last productive retirement at " << h.lastProductive;
+    if (cfg_.adapter == AdapterKind::kColibri) {
+      const atomics::Qnode& q = qnodes_[c];
+      os << ", qnode ";
+      switch (q.state()) {
+        case atomics::Qnode::State::kIdle:
+          os << "idle";
+          break;
+        case atomics::Qnode::State::kQueued:
+          os << "queued";
+          break;
+        case atomics::Qnode::State::kOwesWakeup:
+          os << "owes-wakeup";
+          break;
+      }
+      if (q.hasSuccessor()) {
+        os << " (successor core " << q.successor() << ")";
+      }
+    }
+    os << '\n';
+  }
+  if (stuck > shown) {
+    os << "  ... and " << (stuck - shown) << " more stuck cores\n";
+  }
+  if (stuck == 0) {
+    os << "  (no core has an unfinished task)\n";
+  }
+  std::sort(blamedBanks.begin(), blamedBanks.end());
+  for (const BankId b : blamedBanks) {
+    os << "  bank " << b << ": ";
+    banks_[b]->adapter().describeState(os);
+    os << '\n';
+  }
+  return os.str();
 }
 
 void System::deliverResponse(CoreId c, const MemResponse& r) {

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "arch/address.hpp"
@@ -18,6 +19,8 @@
 #include "arch/network.hpp"
 #include "atomics/qnode.hpp"
 #include "core/core.hpp"
+#include "fault/fault.hpp"
+#include "fault/watchdog.hpp"
 #include "sim/engine.hpp"
 #include "sim/parallel.hpp"
 #include "sim/task.hpp"
@@ -93,6 +96,27 @@ class System final : public CoreSink, public sim::ParallelDispatch::Hooks {
     return obsHooks_.get();
   }
 
+  /// True iff a fault plan is active (some fault probability nonzero).
+  [[nodiscard]] bool faultActive() const { return faultPlan_ != nullptr; }
+
+  /// Per-site injected-fault counts; all zero when no plan is active.
+  [[nodiscard]] fault::FaultCounters faultCounters() const {
+    return faultPlan_ != nullptr ? faultPlan_->counters()
+                                 : fault::FaultCounters{};
+  }
+
+  /// The resolved fault seed (explicit, or derived from the system seed);
+  /// 0 when no plan is active.
+  [[nodiscard]] std::uint64_t faultSeed() const {
+    return faultPlan_ != nullptr ? faultPlan_->config().seed : 0;
+  }
+
+  /// Structured hang diagnosis: per stuck core its outstanding request,
+  /// target bank and progress timestamps, plus the reservation state of
+  /// every bank those requests point at. Used by the watchdog's blame
+  /// hook and exposed for tests.
+  [[nodiscard]] std::string blameReport(sim::Cycle now) const;
+
   // --- CoreSink ----------------------------------------------------------
   void deliverResponse(CoreId c, const MemResponse& r) override;
   void deliverSuccessorUpdate(CoreId c, CoreId successor, sim::Addr a,
@@ -119,6 +143,11 @@ class System final : public CoreSink, public sim::ParallelDispatch::Hooks {
   // Hook bundle handed to cores/banks/sync; owned here so those raw
   // pointers stay valid for the System's whole lifetime.
   std::unique_ptr<obs::SimHooks> obsHooks_;
+  // Fault-injection plan (null when disabled) and the hang watchdog (null
+  // when watchdogCycles == 0). Banks and the network hold raw pointers to
+  // the plan; the engine holds a raw ProgressProbe pointer to the watchdog.
+  std::unique_ptr<fault::FaultPlan> faultPlan_;
+  std::unique_ptr<fault::Watchdog> watchdog_;
   // Parallel-engine state: shard (= topology group) of each endpoint, the
   // per-bank port shadows replayed at barrier merges, and the dispatcher
   // itself. Declared last: its destructor detaches from the engine and

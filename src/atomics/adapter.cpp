@@ -1,5 +1,7 @@
 #include "atomics/adapter.hpp"
 
+#include <ostream>
+
 #include "atomics/amo.hpp"
 #include "atomics/colibri.hpp"
 #include "atomics/lrsc_single.hpp"
@@ -8,6 +10,10 @@
 #include "sim/check.hpp"
 
 namespace colibri::atomics {
+
+void AtomicAdapter::describeState(std::ostream& os) const {
+  os << "no reservation state";
+}
 
 std::unique_ptr<AtomicAdapter> makeAdapter(const arch::SystemConfig& cfg,
                                            BankContext& ctx) {

@@ -15,11 +15,16 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 
 #include "arch/config.hpp"
 #include "arch/memop.hpp"
 #include "sim/types.hpp"
+
+namespace colibri::fault {
+class FaultPlan;
+}
 
 namespace colibri::atomics {
 
@@ -54,6 +59,12 @@ class BankContext {
   [[nodiscard]] virtual Cycle now() const = 0;
   [[nodiscard]] virtual BankId bankId() const = 0;
   [[nodiscard]] virtual std::uint32_t numCores() const = 0;
+
+  /// The fault-injection plan, or nullptr when injection is off (the
+  /// default — test mocks and fault-free systems never override this).
+  [[nodiscard]] virtual fault::FaultPlan* faultPlan() const {
+    return nullptr;
+  }
 };
 
 /// Per-adapter event counters (feed the energy model and tests).
@@ -84,6 +95,10 @@ class AtomicAdapter {
 
   /// Drop all reservation state (between benchmark phases).
   virtual void reset() { stats_.reset(); }
+
+  /// One-line reservation/queue state summary for watchdog blame reports
+  /// (e.g. which core owns the slot). Default: no interesting state.
+  virtual void describeState(std::ostream& os) const;
 
   [[nodiscard]] const AdapterStats& stats() const { return stats_; }
   [[nodiscard]] AdapterStats& mutableStats() { return stats_; }

@@ -1,5 +1,8 @@
 #include "atomics/colibri.hpp"
 
+#include <ostream>
+
+#include "fault/fault.hpp"
 #include "sim/check.hpp"
 
 namespace colibri::atomics {
@@ -86,7 +89,18 @@ void ColibriAdapter::handleScWait(const MemRequest& req) {
                         s->head == req.core,
                     "SCwait from core " << req.core << " to addr " << req.addr
                                         << " without a grant");
-  const bool success = s->resvValid;
+  bool success = s->resvValid;
+  if (success) {
+    if (fault::FaultPlan* fp = ctx_.faultPlan();
+        fp != nullptr &&
+        fp->scFail(ctx_.bankId(), req.core, req.addr, ctx_.now())) {
+      // Spurious SCwait failure: the commit is dropped but the queue still
+      // advances (the protocol's hand-over is unconditional), so the head
+      // simply retries through software. No eviction site here: Colibri's
+      // reservations live in the distributed queue, not a shared table.
+      success = false;
+    }
+  }
   const bool last = s->tail == req.core;
   if (success) {
     ++stats_.scSuccesses;
@@ -192,6 +206,44 @@ void ColibriAdapter::reset() {
   AtomicAdapter::reset();
   for (Slot& s : slots_) {
     s = Slot{};
+  }
+}
+
+namespace {
+const char* toString(ColibriAdapter::SlotState s) {
+  switch (s) {
+    case ColibriAdapter::SlotState::kFree:
+      return "free";
+    case ColibriAdapter::SlotState::kGranted:
+      return "granted";
+    case ColibriAdapter::SlotState::kMwaitMonitoring:
+      return "mwait-monitoring";
+    case ColibriAdapter::SlotState::kAwaitingWakeUp:
+      return "awaiting-wakeup";
+  }
+  return "?";
+}
+}  // namespace
+
+void ColibriAdapter::describeState(std::ostream& os) const {
+  os << (slots_.size() - freeSlots()) << " of " << slots_.size()
+     << " queue slots busy";
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    const Slot& s = slots_[i];
+    if (s.state == SlotState::kFree) {
+      continue;
+    }
+    os << "; slot " << i << ": " << toString(s.state) << " addr " << s.addr
+       << " head ";
+    if (s.head == sim::kNoCore) {
+      os << "none";
+    } else {
+      os << s.head;
+    }
+    os << " tail " << s.tail;
+    if (s.state == SlotState::kGranted) {
+      os << (s.resvValid ? " (reservation valid)" : " (reservation lost)");
+    }
   }
 }
 

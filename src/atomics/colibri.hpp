@@ -37,6 +37,7 @@ class ColibriAdapter final : public AtomicAdapter {
 
   void handle(const MemRequest& req) override;
   void reset() override;
+  void describeState(std::ostream& os) const override;
 
   // --- Introspection for tests & invariant checks -----------------------
   enum class SlotState : std::uint8_t {

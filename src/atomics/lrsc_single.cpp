@@ -1,10 +1,21 @@
 #include "atomics/lrsc_single.hpp"
 
+#include <ostream>
+
+#include "fault/fault.hpp"
 #include "sim/check.hpp"
 
 namespace colibri::atomics {
 
 void LrscSingleAdapter::handle(const MemRequest& req) {
+  if (fault::FaultPlan* fp = ctx_.faultPlan();
+      fp != nullptr && valid_ &&
+      fp->evict(ctx_.bankId(), req.core, ctx_.now())) {
+    // Injected eviction: the held reservation is dropped before this
+    // request is processed. The owner's next SC fails and its retry loop
+    // re-grants — faults cost retries, never correctness.
+    valid_ = false;
+  }
   if (handleBasic(req)) {
     return;
   }
@@ -25,7 +36,17 @@ void LrscSingleAdapter::handle(const MemRequest& req) {
       return;
     }
     case OpKind::kSc: {
-      const bool success = valid_ && core_ == req.core && addr_ == req.addr;
+      bool success = valid_ && core_ == req.core && addr_ == req.addr;
+      if (success) {
+        if (fault::FaultPlan* fp = ctx_.faultPlan();
+            fp != nullptr &&
+            fp->scFail(ctx_.bankId(), req.core, req.addr, ctx_.now())) {
+          // Spurious SC failure: the commit is dropped as if the
+          // reservation had just been invalidated; the slot frees and the
+          // owner retries.
+          success = false;
+        }
+      }
       if (success) {
         valid_ = false;
         commit(req);
@@ -60,6 +81,14 @@ void LrscSingleAdapter::reset() {
   AtomicAdapter::reset();
   valid_ = false;
   core_ = sim::kNoCore;
+}
+
+void LrscSingleAdapter::describeState(std::ostream& os) const {
+  if (valid_) {
+    os << "reservation slot held by core " << core_ << " on addr " << addr_;
+  } else {
+    os << "reservation slot free";
+  }
 }
 
 }  // namespace colibri::atomics

@@ -20,6 +20,7 @@ class LrscSingleAdapter final : public AtomicAdapter {
 
   void handle(const MemRequest& req) override;
   void reset() override;
+  void describeState(std::ostream& os) const override;
 
   /// Owner of the reservation slot, if valid (for tests).
   [[nodiscard]] bool slotValid() const { return valid_; }

@@ -1,10 +1,33 @@
 #include "atomics/lrsc_table.hpp"
 
+#include <ostream>
+
+#include "fault/fault.hpp"
 #include "sim/check.hpp"
 
 namespace colibri::atomics {
 
 void LrscTableAdapter::handle(const MemRequest& req) {
+  if (fault::FaultPlan* fp = ctx_.faultPlan();
+      fp != nullptr && fp->evict(ctx_.bankId(), req.core, ctx_.now())) {
+    // Injected eviction: drop one held reservation, hash-picked among the
+    // valid entries so churn spreads across cores. The victim's SC fails
+    // and its retry loop re-grants.
+    std::uint32_t held = 0;
+    for (const Entry& e : entries_) {
+      held += e.valid ? 1 : 0;
+    }
+    if (held > 0) {
+      std::uint32_t victim =
+          fp->evictVictim(ctx_.bankId(), ctx_.now(), held);
+      for (Entry& e : entries_) {
+        if (e.valid && victim-- == 0) {
+          e.valid = false;
+          break;
+        }
+      }
+    }
+  }
   if (handleBasic(req)) {
     return;
   }
@@ -19,7 +42,14 @@ void LrscTableAdapter::handle(const MemRequest& req) {
     case OpKind::kSc: {
       COLIBRI_CHECK(req.core < entries_.size());
       Entry& e = entries_[req.core];
-      const bool success = e.valid && e.addr == req.addr;
+      bool success = e.valid && e.addr == req.addr;
+      if (success) {
+        if (fault::FaultPlan* fp = ctx_.faultPlan();
+            fp != nullptr &&
+            fp->scFail(ctx_.bankId(), req.core, req.addr, ctx_.now())) {
+          success = false;  // spurious failure; the entry clears either way
+        }
+      }
       e.valid = false;
       if (success) {
         ++stats_.scSuccesses;
@@ -50,6 +80,23 @@ void LrscTableAdapter::reset() {
   AtomicAdapter::reset();
   for (Entry& e : entries_) {
     e = Entry{};
+  }
+}
+
+void LrscTableAdapter::describeState(std::ostream& os) const {
+  std::uint32_t held = 0;
+  for (const Entry& e : entries_) {
+    held += e.valid ? 1 : 0;
+  }
+  os << held << " of " << entries_.size() << " reservation entries held";
+  if (held > 0) {
+    os << " (cores:";
+    for (std::size_t c = 0; c < entries_.size(); ++c) {
+      if (entries_[c].valid) {
+        os << ' ' << c;
+      }
+    }
+    os << ')';
   }
 }
 

@@ -20,6 +20,7 @@ class LrscTableAdapter final : public AtomicAdapter {
 
   void handle(const MemRequest& req) override;
   void reset() override;
+  void describeState(std::ostream& os) const override;
 
  private:
   struct Entry {

@@ -1,7 +1,9 @@
 #include "atomics/lrscwait.hpp"
 
 #include <algorithm>
+#include <ostream>
 
+#include "fault/fault.hpp"
 #include "sim/check.hpp"
 
 namespace colibri::atomics {
@@ -54,6 +56,18 @@ void LrscWaitAdapter::pump() {
 }
 
 void LrscWaitAdapter::handle(const MemRequest& req) {
+  if (fault::FaultPlan* fp = ctx_.faultPlan();
+      fp != nullptr && fp->evict(ctx_.bankId(), req.core, ctx_.now())) {
+    // Injected eviction: invalidate the reservation of a served LRwait
+    // (never erase the entry — the queue's SCwait-matching invariant
+    // stays intact). The holder's SCwait fails and its loop re-enqueues.
+    for (Entry& e : queue_) {
+      if (e.served && !e.isMwait && e.resvValid) {
+        e.resvValid = false;
+        break;
+      }
+    }
+  }
   if (handleBasic(req)) {
     return;
   }
@@ -84,7 +98,16 @@ void LrscWaitAdapter::handle(const MemRequest& req) {
       COLIBRI_CHECK_MSG(it != queue_.end() && it->served,
                         "SCwait without a served LRwait (core "
                             << req.core << ", addr " << req.addr << ")");
-      const bool success = it->resvValid;
+      bool success = it->resvValid;
+      if (success) {
+        if (fault::FaultPlan* fp = ctx_.faultPlan();
+            fp != nullptr &&
+            fp->scFail(ctx_.bankId(), req.core, req.addr, ctx_.now())) {
+          // Spurious SCwait failure: the grant is consumed without a
+          // commit; the holder's loop re-enqueues an LRwait.
+          success = false;
+        }
+      }
       queue_.erase(it);
       if (success) {
         ++stats_.scSuccesses;
@@ -128,6 +151,18 @@ void LrscWaitAdapter::onWrite(Addr a) {
     ++it;
   }
   pump();
+}
+
+void LrscWaitAdapter::describeState(std::ostream& os) const {
+  os << queue_.size() << " of " << capacity_ << " queue entries used";
+  bool any = false;
+  for (const Entry& e : queue_) {
+    if (e.served && !e.isMwait && e.resvValid) {
+      os << (any ? "," : "; grants:") << " core " << e.core << " on addr "
+         << e.addr;
+      any = true;
+    }
+  }
 }
 
 bool LrscWaitAdapter::holdsGrant(CoreId core, Addr a) const {

@@ -27,6 +27,7 @@ class LrscWaitAdapter final : public AtomicAdapter {
 
   void handle(const MemRequest& req) override;
   void reset() override;
+  void describeState(std::ostream& os) const override;
 
   [[nodiscard]] std::uint32_t capacity() const { return capacity_; }
   [[nodiscard]] std::size_t occupancy() const { return queue_.size(); }

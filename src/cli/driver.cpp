@@ -1,6 +1,7 @@
 #include "cli/driver.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <exception>
 #include <fstream>
 #include <numeric>
@@ -8,6 +9,9 @@
 #include <thread>
 
 #include "exp/json.hpp"
+#include "fault/demo.hpp"
+#include "fault/fault.hpp"
+#include "fault/watchdog.hpp"
 #include "obs/recorder.hpp"
 #include "exp/run.hpp"
 #include "exp/scenario.hpp"
@@ -39,6 +43,94 @@ void maybeBanner(std::ostream& out, const Options& opts,
   if (!opts.csv && !opts.json) {
     report::banner(out, title);
   }
+}
+
+std::string faultProfileList() {
+  std::string names;
+  for (const auto& p : fault::profiles()) {
+    if (!names.empty()) {
+      names += " | ";
+    }
+    names += p.name;
+  }
+  return names + " | off";
+}
+
+template <typename T>
+bool parseChars(const std::string& text, T& out) {
+  const char* first = text.data();
+  const char* last = first + text.size();
+  auto [ptr, ec] = std::from_chars(first, last, out);
+  return ec == std::errc{} && ptr == last;
+}
+
+/// Parse a per-site fault overlay: "P" (probability alone) or "P,MAX"
+/// (probability plus magnitude). `max` == nullptr means the site has no
+/// magnitude and the ",MAX" form is rejected.
+std::optional<std::string> parseFaultSite(const char* flag,
+                                          const std::string& text, double& p,
+                                          std::uint32_t* max) {
+  std::string probText = text;
+  if (const auto comma = text.find(','); comma != std::string::npos) {
+    if (max == nullptr) {
+      return std::string(flag) + " takes a bare probability, got '" + text +
+             "'";
+    }
+    probText = text.substr(0, comma);
+    if (!parseChars(text.substr(comma + 1), *max) || *max < 1) {
+      return std::string(flag) + ": MAX in '" + text +
+             "' must be an integer >= 1";
+    }
+  }
+  if (!parseChars(probText, p) || p < 0.0 || p > 1.0) {
+    return std::string(flag) + ": probability in '" + text +
+           "' must be in [0, 1]";
+  }
+  if (max != nullptr && p > 0.0 && *max < 1) {
+    return std::string(flag) + " needs a ',MAX' magnitude (e.g. 0.1,8)";
+  }
+  return std::nullopt;
+}
+
+/// Apply --fault/--fault-* flags onto cfg.fault (profile first, then the
+/// per-site overlays) and --watchdog onto cfg.watchdogCycles.
+std::optional<std::string> applyFaultFlags(const Options& opts,
+                                           arch::SystemConfig& cfg) {
+  if (opts.faultProfile != "off") {
+    const fault::Profile* p = fault::findProfile(opts.faultProfile);
+    if (p == nullptr) {
+      return "unknown fault profile '" + opts.faultProfile +
+             "' (choose from: " + faultProfileList() + ")";
+    }
+    cfg.fault = p->config;
+  }
+  cfg.fault.seed = opts.faultSeed;
+  if (!opts.faultNetDelay.empty()) {
+    if (auto e = parseFaultSite("--fault-net-delay", opts.faultNetDelay,
+                                cfg.fault.netDelayP, &cfg.fault.netDelayMax)) {
+      return e;
+    }
+  }
+  if (!opts.faultScFail.empty()) {
+    if (auto e = parseFaultSite("--fault-sc-fail", opts.faultScFail,
+                                cfg.fault.scFailP, nullptr)) {
+      return e;
+    }
+  }
+  if (!opts.faultEvict.empty()) {
+    if (auto e = parseFaultSite("--fault-evict", opts.faultEvict,
+                                cfg.fault.evictP, nullptr)) {
+      return e;
+    }
+  }
+  if (!opts.faultStall.empty()) {
+    if (auto e = parseFaultSite("--fault-stall", opts.faultStall,
+                                cfg.fault.stallP, &cfg.fault.stallMax)) {
+      return e;
+    }
+  }
+  cfg.watchdogCycles = opts.watchdog;
+  return std::nullopt;
 }
 
 double sleepFraction(const workloads::SystemCounters& c) {
@@ -334,6 +426,50 @@ void printLockFair(const Options& opts, const exp::SweepResult& res,
   emit(table, out, opts.csv);
 }
 
+/// --hang-demo: run the shared stranded-LR scenario (fault::runStrandedLr)
+/// and let the watchdog diagnose it. Exit 3 on a trip — the same code a
+/// real diagnosed hang produces — so scripts can tell "caught" apart from
+/// "ran silently" (0, watchdog disabled) and "hung past the horizon
+/// without a diagnosis" (1).
+int runHangDemo(const Options& opts, std::ostream& out, std::ostream& err) {
+  const auto adapter = exp::findAdapter("lrsc_single");
+  arch::SystemConfig cfg;
+  if (const auto geomError = buildConfig(opts, *adapter, cfg)) {
+    err << "colibri-sim: " << *geomError << "\n";
+    return 2;
+  }
+  maybeBanner(out, opts,
+              "colibri-sim: stranded-LR hang demo (lrsc_single, watchdog " +
+                  (cfg.watchdogCycles > 0
+                       ? std::to_string(cfg.watchdogCycles) + " cycles"
+                       : std::string("off")) +
+                  ")");
+  // A trip is bounded by limit + limit/8; double the limit is a safely
+  // bounded horizon. With the watchdog off, stop at the normal window end.
+  const sim::Cycle horizon = cfg.watchdogCycles > 0
+                                 ? 2 * cfg.watchdogCycles
+                                 : opts.warmup + opts.measure;
+  try {
+    fault::runStrandedLr(cfg, horizon);
+  } catch (const fault::WatchdogError& e) {
+    err << "colibri-sim: " << e.what();
+    out << "watchdog caught the hang at cycle " << e.trippedAt()
+        << " (limit " << cfg.watchdogCycles << ")\n";
+    return 3;
+  } catch (const sim::InvariantViolation& e) {
+    err << "colibri-sim: simulation invariant violated: " << e.what() << "\n";
+    return 1;
+  }
+  if (cfg.watchdogCycles == 0) {
+    out << "hang ran silently to cycle " << horizon
+        << " (watchdog disabled — this is the failure mode the watchdog "
+           "exists for)\n";
+    return 0;
+  }
+  out << "no watchdog trip by cycle " << horizon << " (unexpected)\n";
+  return 1;
+}
+
 std::string litmusAlgorithmList() {
   std::string names;
   for (const auto& info : litmus::algorithms()) {
@@ -438,6 +574,9 @@ int runLitmusMode(const Options& opts, std::ostream& out, std::ostream& err) {
     }
     emit(table, out, opts.csv);
     return allPass ? 0 : 1;
+  } catch (const fault::WatchdogError& e) {
+    err << "colibri-sim: " << e.what();
+    return 3;
   } catch (const sim::InvariantViolation& e) {
     err << "colibri-sim: simulation invariant violated: " << e.what() << "\n";
     return 1;
@@ -485,6 +624,9 @@ std::optional<std::string> buildConfig(const Options& opts,
     const auto hw = std::max(1u, std::thread::hardware_concurrency());
     cfg.engineThreads = std::max(1u, std::min(hw, cfg.numGroups()));
   }
+  if (auto faultError = applyFaultFlags(opts, cfg)) {
+    return faultError;
+  }
   return std::nullopt;
 }
 
@@ -504,6 +646,9 @@ void printScenarios(std::ostream& os, bool csv) {
 }
 
 int runScenario(const Options& opts, std::ostream& out, std::ostream& err) {
+  if (opts.hangDemo) {
+    return runHangDemo(opts, out, err);
+  }
   if (!opts.litmus.empty() || opts.litmusMatrix) {
     return runLitmusMode(opts, out, err);
   }
@@ -597,6 +742,10 @@ int runScenario(const Options& opts, std::ostream& out, std::ostream& err) {
     err << "colibri-sim: --json-engine requires --json\n";
     return 2;
   }
+  if (opts.jsonFault && !opts.json) {
+    err << "colibri-sim: --json-fault requires --json\n";
+    return 2;
+  }
 
   auto spec = buildSpec(opts, *adapter, cfg);
   if (!spec) {
@@ -631,6 +780,7 @@ int runScenario(const Options& opts, std::ostream& out, std::ostream& err) {
       exp::JsonOptions jsonOpts;
       jsonOpts.recorder = wantSampling ? &recorder : nullptr;
       jsonOpts.engineBlock = opts.jsonEngine;
+      jsonOpts.faultBlock = opts.jsonFault;
       exp::writeJson(out, specs, results, jsonOpts);
     } else if (opts.workload == "histogram") {
       printHistogram(opts, specs.front(), res, out);
@@ -680,11 +830,25 @@ int runScenario(const Options& opts, std::ostream& out, std::ostream& err) {
       err << "frame-pool: pooled=" << sim::framepool::pooledFrameCount()
           << " heap=" << sim::framepool::heapFrameCount()
           << " arena-bytes=" << sim::framepool::arenaBytes() << "\n";
+      if (res.primary().faultSeed != 0) {
+        const auto& fc = res.primary().faultCounters;
+        err << "fault: seed=" << res.primary().faultSeed
+            << " net-delays=" << fc.at(fault::Site::kNetDelay)
+            << " sc-fails=" << fc.at(fault::Site::kScFail)
+            << " evictions=" << fc.at(fault::Site::kEvict)
+            << " stalls=" << fc.at(fault::Site::kStall)
+            << " total=" << fc.total() << "\n";
+      }
       // The registry view of the same run (rep 0): every metric,
       // diagnostic ones included.
       recorder.printStats(err);
     }
     return res.allVerified ? 0 : 1;
+  } catch (const fault::WatchdogError& e) {
+    // A diagnosed hang: the blame report is inside what(). Exit 3 keeps it
+    // distinguishable from verification failures (1) and flag errors (2).
+    err << "colibri-sim: " << e.what();
+    return 3;
   } catch (const sim::InvariantViolation& e) {
     err << "colibri-sim: simulation invariant violated: " << e.what() << "\n";
     return 1;

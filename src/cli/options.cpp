@@ -114,6 +114,42 @@ const std::map<std::string, Flag>& flagTable() {
        numberFlag("wgen: words per non-strided region; 0 = preset value",
                   &Options::wgenWords)},
       {"--seed", numberFlag("RNG seed", &Options::seed)},
+      {"--fault",
+       stringFlag("fault-injection profile: net_jitter | sc_storm | "
+                  "evict_churn | chaos | off (default off)",
+                  &Options::faultProfile)},
+      {"--fault-seed",
+       numberFlag("fault decision seed; 0 = derive from --seed",
+                  &Options::faultSeed)},
+      {"--fault-net-delay",
+       stringFlag("extra network delivery delay as P,MAX (probability per "
+                  "hop, max extra cycles)",
+                  &Options::faultNetDelay)},
+      {"--fault-sc-fail",
+       stringFlag("spurious SC/SCwait failure probability P per "
+                  "would-succeed commit",
+                  &Options::faultScFail)},
+      {"--fault-evict",
+       stringFlag("reservation-eviction probability P per handled bank "
+                  "request",
+                  &Options::faultEvict)},
+      {"--fault-stall",
+       stringFlag("transient bank service stall as P,MAX (probability per "
+                  "grant, max extra cycles)",
+                  &Options::faultStall)},
+      {"--watchdog",
+       numberFlag("hang watchdog: diagnose + exit 3 after this many cycles "
+                  "without productive progress; 0 disables (default "
+                  "250000)",
+                  &Options::watchdog)},
+      {"--json-fault",
+       boolFlag("add the per-rep \"fault\" block (injected-fault counts) "
+                "to --json",
+                &Options::jsonFault)},
+      {"--hang-demo",
+       boolFlag("run the stranded-LR hang demo (a re-introduced "
+                "reservation leak) under the watchdog and exit",
+                &Options::hangDemo)},
       {"--litmus",
        stringFlag("run a litmus algorithm instead of a workload: dekker | "
                   "peterson | bakery | tas | naive | race | all",
@@ -246,6 +282,8 @@ void printUsage(std::ostream& os) {
         "--zipf-theta 0.99\n"
         "  colibri-sim --litmus all --litmus-matrix --cores 16\n"
         "  colibri-sim --litmus dekker --unfenced --cores 16\n"
+        "  colibri-sim --adapter colibri --workload histogram --fault chaos\n"
+        "  colibri-sim --hang-demo --cores 16 --watchdog 50000\n"
         "  colibri-sim --list\n";
 }
 

@@ -60,6 +60,29 @@ struct Options {
 
   std::uint64_t seed = 0xC011B21;
 
+  // --- Fault injection & watchdog -----------------------------------------
+  /// Canned fault profile ("net_jitter" | "sc_storm" | "evict_churn" |
+  /// "chaos") or "off" (default). Individual --fault-* flags overlay the
+  /// profile (or enable single sites on top of "off").
+  std::string faultProfile = "off";
+  /// Fault decision seed; 0 derives one from --seed (so reps explore
+  /// distinct fault schedules unless pinned here).
+  std::uint64_t faultSeed = 0;
+  /// "P,MAX" per-site overlays; empty = keep the profile's value. P alone
+  /// is accepted for the probability-only site (sc-fail, evict).
+  std::string faultNetDelay;
+  std::string faultScFail;
+  std::string faultEvict;
+  std::string faultStall;
+  /// Watchdog limit in cycles (no productive retirement for this long with
+  /// tasks outstanding = diagnosed hang, exit 3). 0 disables.
+  std::uint64_t watchdog = 250'000;
+  /// Add the per-rep "fault" block (injected-fault counts) to --json.
+  bool jsonFault = false;
+  /// Run the stranded-LR hang demo instead of a workload: a re-introduced
+  /// reservation leak the watchdog catches and names.
+  bool hangDemo = false;
+
   // --- Litmus mode --------------------------------------------------------
   /// Litmus algorithm name ("dekker" | "peterson" | "bakery" | "tas" |
   /// "naive" | "race") or "all"; empty = normal workload mode.

@@ -64,6 +64,7 @@ void Core::issue(const MemRequest& req, std::coroutine_handle<> h,
   hot_->pendingHandle = h;
   hot_->pendingOut = out;
   hot_->pendingKind = req.kind;
+  hot_->pendingAddr = req.addr;
 
   auto depart_ev = [this, req] {
     hot_->pendingSince = sys_.engine().now();
@@ -116,6 +117,17 @@ void Core::complete(const MemResponse& r) {
       default:
         break;
     }
+  }
+
+  // Productive-retirement bookkeeping for the watchdog: reservation
+  // acquires (LR/LRwait) and failed SC/SCwait are the ops a livelocked
+  // retry loop retires forever, so they do not count as progress.
+  const OpKind k = hot_->pendingKind;
+  const bool productive =
+      k != OpKind::kLr && k != OpKind::kLrWait &&
+      ((k != OpKind::kSc && k != OpKind::kScWait) || r.ok);
+  if (productive) {
+    hot_->lastProductive = sys_.engine().now();
   }
 
   auto h = hot_->pendingHandle;

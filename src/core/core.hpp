@@ -67,6 +67,12 @@ struct CoreHot {
   MemResponse* pendingOut = nullptr;
   Cycle pendingSince = 0;
   Cycle lastIssue = 0;
+  /// Last cycle this core retired a *productive* operation: anything but a
+  /// reservation acquire (LR/LRwait) or a failed SC/SCwait. A core spinning
+  /// in an acquire-fail-retry loop never advances this — exactly the signal
+  /// the watchdog needs to tell livelock/deadlock from slow progress.
+  Cycle lastProductive = 0;
+  sim::Addr pendingAddr = 0;
   OpKind pendingKind = OpKind::kLoad;
   bool hasIssued = false;
 };

@@ -51,7 +51,8 @@ void writeCounters(report::JsonWriter& w,
   w.endObject();
 }
 
-void writeRep(report::JsonWriter& w, const RunResult& r, bool engineBlock) {
+void writeRep(report::JsonWriter& w, const RunResult& r,
+              const JsonOptions& opts) {
   w.beginObject();
   w.kv("seed", r.seed)
       .kv("opsPerCycle", r.rate.opsPerCycle)
@@ -105,7 +106,19 @@ void writeRep(report::JsonWriter& w, const RunResult& r, bool engineBlock) {
     w.endObject();
   }
   writeCounters(w, r.rate.counters);
-  if (engineBlock) {
+  if (opts.faultBlock) {
+    // Opt-in (--json-fault): deterministic, but absent by default so the
+    // schema is unchanged for consumers that never asked for faults.
+    w.key("fault").beginObject();
+    w.kv("seed", r.faultSeed)
+        .kv("netDelays", r.faultCounters.at(fault::Site::kNetDelay))
+        .kv("scFails", r.faultCounters.at(fault::Site::kScFail))
+        .kv("evictions", r.faultCounters.at(fault::Site::kEvict))
+        .kv("stalls", r.faultCounters.at(fault::Site::kStall))
+        .kv("injected", r.faultCounters.total());
+    w.endObject();
+  }
+  if (opts.engineBlock) {
     // Opt-in (--json-engine): these values vary with --engine-threads.
     w.key("engine").beginObject();
     w.kv("windows", r.engineCounters.windows)
@@ -149,7 +162,7 @@ void writeJson(std::ostream& os, const std::vector<RunSpec>& specs,
     writeConfig(w, spec.config);
     w.key("reps").beginArray();
     for (const auto& rep : res.reps) {
-      writeRep(w, rep, opts.engineBlock);
+      writeRep(w, rep, opts);
     }
     w.endArray();
     w.key("aggregate").beginObject();

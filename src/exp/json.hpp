@@ -26,6 +26,10 @@ struct JsonOptions {
   const obs::Recorder* recorder = nullptr;
   /// Emit a per-rep `engine` object (parallel-engine diagnostics).
   bool engineBlock = false;
+  /// Emit a per-rep `fault` object (injected-fault counts + resolved
+  /// seed). Deterministic across reruns and engine-thread counts, but
+  /// opt-in so default documents are byte-identical with injection off.
+  bool faultBlock = false;
 };
 
 /// Serialize one sweep: specs[i] produced results[i] (sizes must match).

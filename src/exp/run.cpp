@@ -223,6 +223,8 @@ RunResult runOne(const RunSpec& spec, std::uint32_t rep) {
   }
   std::visit(Dispatcher{sys, out}, params);
   out.engineCounters = sys.engineCounters();
+  out.faultCounters = sys.faultCounters();
+  out.faultSeed = sys.faultSeed();
   if (rec != nullptr) {
     rec->finalize(sys.now());
   }

@@ -109,6 +109,15 @@ struct RunResult {
   /// values depend on --engine-threads and default machine outputs must
   /// stay identical across engine-thread counts.
   sim::EngineCounters engineCounters{};
+
+  /// Per-site injected-fault counts over the window (all zero with
+  /// injection off). Deterministic — identical across reruns and
+  /// engine-thread counts — but serialized only under
+  /// exp::JsonOptions::faultBlock / --json-fault so default outputs and
+  /// goldens are untouched by the fault subsystem's existence.
+  fault::FaultCounters faultCounters{};
+  /// The resolved fault seed the run used (0 = injection off).
+  std::uint64_t faultSeed = 0;
 };
 
 /// The workload name a spec's results report: the explicit override, or

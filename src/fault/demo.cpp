@@ -1,0 +1,57 @@
+#include "fault/demo.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "arch/system.hpp"
+#include "sim/random.hpp"
+#include "sim/task.hpp"
+#include "sync/atomic.hpp"
+#include "sync/backoff.hpp"
+
+namespace colibri::fault {
+namespace {
+
+// The bug: a reservation is acquired and never released. On the
+// single-slot adapter this strands the bank's only slot with core 0.
+sim::Task strandLr(arch::Core& core, sim::Addr a) {
+  (void)co_await core.lr(a);
+  co_return;  // no SC — the slot is never freed
+}
+
+// Honest workers: unbounded fetchAdd loops. Their LRs place no
+// reservation (slot busy), their SCs fail, and none of those retirements
+// count as productive — the watchdog's exact trigger condition.
+sim::Task increment(arch::Core& core, sim::Addr a, sim::Xoshiro256& rng) {
+  sync::Backoff backoff(sync::BackoffPolicy::fixed(32), rng);
+  for (;;) {
+    (void)co_await sync::fetchAdd(core, sync::RmwFlavor::kLrsc, a, 1,
+                                  backoff);
+  }
+}
+
+}  // namespace
+
+void runStrandedLr(arch::SystemConfig cfg, sim::Cycle horizon) {
+  cfg.adapter = arch::AdapterKind::kLrscSingle;
+  arch::System sys(cfg);
+  const sim::Addr counter = 0;
+  sys.poke(counter, 0);
+
+  std::vector<std::unique_ptr<sim::Xoshiro256>> rngs;
+  rngs.reserve(cfg.numCores);
+  for (sim::CoreId c = 0; c < cfg.numCores; ++c) {
+    rngs.push_back(
+        std::make_unique<sim::Xoshiro256>(sim::Xoshiro256::forStream(
+            cfg.seed, c)));
+  }
+
+  sys.spawn(0, strandLr(sys.core(0), counter));
+  for (sim::CoreId c = 1; c < cfg.numCores; ++c) {
+    sys.spawn(c, increment(sys.core(c), counter, *rngs[c]));
+  }
+  sys.runUntil(horizon);
+  sys.rethrowFailures();
+}
+
+}  // namespace colibri::fault

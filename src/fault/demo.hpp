@@ -1,0 +1,28 @@
+// Stranded-LR hang demo: a deliberately re-introduced protocol bug whose
+// only symptom is silence — exactly what the watchdog exists to diagnose.
+//
+// Core 0 issues a raw LR and returns without ever issuing the matching SC.
+// On the single-slot adapter (MemPool-style) the reservation slot stays
+// held by core 0 forever: every other core's LR places no reservation, its
+// SC fails, and the fetchAdd retry loops spin for eternity. No invariant
+// check fires — the system is "making events", just no progress. With the
+// watchdog enabled the run stops in bounded simulated time with a blame
+// report naming the owning core and the stranded reservation slot.
+//
+// Shared by the CLI (`--hang-demo`) and the fault tests so both exercise
+// the identical scenario.
+#pragma once
+
+#include "arch/config.hpp"
+#include "sim/types.hpp"
+
+namespace colibri::fault {
+
+/// Run the stranded-LR scenario on `cfg` (the adapter is forced to
+/// kLrscSingle, the geometry and watchdog settings are taken as given)
+/// until `horizon`. Throws WatchdogError iff the watchdog is enabled and
+/// trips; returns normally when it is disabled (the hang runs silently to
+/// the horizon — the pre-watchdog behavior).
+void runStrandedLr(arch::SystemConfig cfg, sim::Cycle horizon);
+
+}  // namespace colibri::fault

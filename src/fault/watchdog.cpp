@@ -1,0 +1,32 @@
+#include "fault/watchdog.hpp"
+
+#include <sstream>
+
+namespace colibri::fault {
+
+Watchdog::Watchdog(sim::Cycle limit, Hooks hooks)
+    : limit_(limit),
+      step_(limit / 8 > 0 ? limit / 8 : 1),
+      next_(limit),
+      hooks_(std::move(hooks)) {
+  COLIBRI_CHECK_MSG(limit > 0, "watchdog: limit must be positive");
+}
+
+void Watchdog::onProbe(sim::Cycle at) {
+  next_ = at + step_;
+  const sim::Cycle last = hooks_.lastProgress();
+  if (at < last || at - last < limit_ || hooks_.allDone()) {
+    return;
+  }
+  std::string report = hooks_.blame ? hooks_.blame(at) : std::string{};
+  std::ostringstream what;
+  what << "watchdog: no core retired a productive operation for "
+       << (at - last) << " simulated cycles (limit " << limit_ << ", now "
+       << at << ", last progress at " << last << ")";
+  if (!report.empty()) {
+    what << '\n' << report;
+  }
+  throw WatchdogError(what.str(), std::move(report), at);
+}
+
+}  // namespace colibri::fault

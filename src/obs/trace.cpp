@@ -18,6 +18,8 @@ void Tracer::bind(std::uint32_t numCores, std::uint32_t numBanks) {
   done_.resize(numCores);
   posted_.resize(numCores);
   phases_.resize(numCores);
+  coreFaults_.resize(numCores);
+  bankFaults_.resize(numBanks);
 }
 
 void Tracer::onIssue(std::uint32_t core, std::string_view kind,
@@ -72,6 +74,16 @@ void Tracer::onPhase(std::uint32_t core, std::string_view name,
   if (visitCount_[core]++ % every_ == 0) {
     phases_[core].push_back({begin, end, name});
   }
+}
+
+void Tracer::onFaultCore(std::uint32_t core, std::string_view kind,
+                         sim::Cycle at) {
+  coreFaults_[core].push_back({at, kind});
+}
+
+void Tracer::onFaultBank(std::uint32_t bank, std::string_view kind,
+                         sim::Cycle at) {
+  bankFaults_[bank].push_back({at, kind});
 }
 
 std::size_t Tracer::spanCount() const {
@@ -160,6 +172,14 @@ void Tracer::writeChromeTrace(std::ostream& os) const {
     for (const auto& ph : phases_[c]) {
       events.push_back(
           {1, c, ph.begin, ph.end - ph.begin, false, ph.name, {}, 0});
+    }
+    for (const auto& i : coreFaults_[c]) {
+      events.push_back({1, c, i.at, 0, true, i.kind, {}, 0});
+    }
+  }
+  for (std::uint32_t b = 0; b < bankFaults_.size(); ++b) {
+    for (const auto& i : bankFaults_[b]) {
+      events.push_back({2, b, i.at, 0, true, i.kind, {}, 0});
     }
   }
   std::sort(events.begin(), events.end(), emitLess);

@@ -48,6 +48,11 @@ class Tracer {
   void onComplete(std::uint32_t core, sim::Cycle at);
   void onPhase(std::uint32_t core, std::string_view name, sim::Cycle begin,
                sim::Cycle end);
+  /// Fault-injection instants (never sampled — injections are rare and
+  /// each one is diagnostic). The caller picks the track whose execution
+  /// context made the decision, so pushes never cross parallel shards.
+  void onFaultCore(std::uint32_t core, std::string_view kind, sim::Cycle at);
+  void onFaultBank(std::uint32_t bank, std::string_view kind, sim::Cycle at);
 
   // --- Output --------------------------------------------------------------
   void writeChromeTrace(std::ostream& os) const;
@@ -87,6 +92,8 @@ class Tracer {
   std::vector<std::vector<ReqSpan>> done_;
   std::vector<std::vector<Instant>> posted_;
   std::vector<std::vector<Phase>> phases_;
+  std::vector<std::vector<Instant>> coreFaults_;
+  std::vector<std::vector<Instant>> bankFaults_;
 };
 
 }  // namespace colibri::obs

@@ -32,7 +32,24 @@ std::size_t Engine::runUntil(Cycle horizon) {
     ev();
     ++executed_;
   };
-  while (const std::size_t n = queue_.runBatchIfAtMost(horizon, dispatch)) {
+  for (;;) {
+    if (probe_ != nullptr) {
+      // Fire every probe boundary at or below the next event's cycle
+      // before that cycle's batch executes — the probe then sees exactly
+      // the events before its boundary applied, matching the parallel
+      // engine's probe point (before the window starting at that cycle).
+      const Cycle next = queue_.minWhen();
+      if (next != kCycleNever && next <= horizon) {
+        for (Cycle p = probe_->nextProbeAt(); p != kCycleNever && p <= next;
+             p = probe_->nextProbeAt()) {
+          probe_->onProbe(p);
+        }
+      }
+    }
+    const std::size_t n = queue_.runBatchIfAtMost(horizon, dispatch);
+    if (n == 0) {
+      break;
+    }
     ran += n;
   }
   if (horizon != kCycleNever && now_ < horizon) {

@@ -47,6 +47,22 @@ struct DispatchRecord {
 
 class ParallelDispatch;
 
+/// Simulated-cycle progress probe (e.g. the fault-layer watchdog). The
+/// engine fires onProbe(p) for every boundary p = nextProbeAt() before
+/// executing any event at cycle >= p, so a probe observes the state with
+/// exactly the events before p applied — identically in the sequential
+/// and the parallel engine (which caps its execution windows at probe
+/// boundaries). Probes never execute events, never consume sequence
+/// numbers and never advance now(); onProbe may throw to abort the run.
+class ProgressProbe {
+ public:
+  virtual ~ProgressProbe() = default;
+  /// Next boundary to fire at (kCycleNever = no more probes).
+  [[nodiscard]] virtual Cycle nextProbeAt() const = 0;
+  /// Fired at boundary `at`; must advance nextProbeAt() past `at`.
+  virtual void onProbe(Cycle at) = 0;
+};
+
 class Engine {
  public:
   Engine() = default;
@@ -118,6 +134,11 @@ class Engine {
   void setParallel(ParallelDispatch* p);
   [[nodiscard]] ParallelDispatch* parallel() const { return parallel_; }
 
+  /// Attach (or detach, with nullptr) a progress probe. Must be set before
+  /// the run starts; both engines honor it (see ProgressProbe).
+  void setProgressProbe(ProgressProbe* probe) { probe_ = probe; }
+  [[nodiscard]] ProgressProbe* progressProbe() const { return probe_; }
+
  private:
   /// Pop and run the earliest event if its cycle is <= horizon. Returns
   /// whether an event ran. The dispatch body behind step().
@@ -132,6 +153,7 @@ class Engine {
   std::uint64_t executed_ = 0;
   std::vector<DispatchRecord>* trace_ = nullptr;
   ParallelDispatch* parallel_ = nullptr;
+  ProgressProbe* probe_ = nullptr;
 };
 
 }  // namespace colibri::sim

@@ -251,6 +251,16 @@ std::size_t ParallelDispatch::runUntil(Cycle horizon) {
     if (m == kCycleNever || m > horizon) {
       break;
     }
+    if (auto* probe = engine_.progressProbe()) {
+      // Fire probe boundaries at or below the next due cycle before any of
+      // its events run — the same boundary semantics as the sequential
+      // engine, and at a serial point (no worker is executing here), so
+      // the probe observes exactly the pre-cycle state.
+      for (Cycle p = probe->nextProbeAt(); p != kCycleNever && p <= m;
+           p = probe->nextProbeAt()) {
+        probe->onProbe(p);
+      }
+    }
     if (globalMin == m) {
       // A global event (stats snapshot, stop flag, driver callback) is due
       // this cycle: it may observe or mutate cross-shard state, so the
@@ -264,6 +274,16 @@ std::size_t ParallelDispatch::runUntil(Cycle horizon) {
     end = std::min(end, globalMin);  // never run past a global event
     if (horizon != kCycleNever) {
       end = std::min(end, horizon + 1);
+    }
+    if (const auto* probe = engine_.progressProbe()) {
+      // Never run a window across a probe boundary: the next boundary is
+      // > m (everything <= m fired above), so the window stays non-empty
+      // and the probe fires at a point where, as in the sequential engine,
+      // all events before it have executed.
+      const Cycle p = probe->nextProbeAt();
+      if (p != kCycleNever && p < end) {
+        end = p;
+      }
     }
     runWindow(m, end);
   }
